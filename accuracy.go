@@ -1,0 +1,64 @@
+package treecode
+
+import (
+	"fmt"
+	"math"
+
+	"treecode/internal/bounds"
+	"treecode/internal/core"
+	"treecode/internal/points"
+)
+
+// NewSystemForAccuracy builds an Adaptive system whose minimum degree is
+// chosen from the paper's bounds so that the predicted per-point error does
+// not exceed eps relative to the characteristic potential scale of the
+// system (total absolute charge over domain size). alpha in (0,1) selects
+// the acceptance criterion (0 picks 0.5).
+//
+// The selection is a-priori: it uses Theorem 2's worst-case bound for the
+// reference cluster, multiplied by the Lemma 2 interaction count K(alpha)
+// and the tree height (the aggregate-error theorem). Measured errors are
+// typically 1-3 orders of magnitude below the bound, so treat eps as a
+// guarantee target, not an estimate.
+func NewSystemForAccuracy(particles []Particle, eps, alpha float64) (*System, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("treecode: accuracy target must be positive, got %v", eps)
+	}
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	// Probe build at a low degree to learn the decomposition's reference
+	// cluster and height; tree construction is cheap next to evaluation.
+	probe, err := core.New(&points.Set{Particles: particles}, core.Config{
+		Method: core.Adaptive, Degree: 1, Alpha: alpha,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr := probe.Tree
+	aRef, sRef, ok := tr.MinLeafStats()
+	if !ok {
+		// All charges zero: any degree is exact.
+		return NewSystem(particles, Config{Method: core.Adaptive, Degree: 1, Alpha: alpha})
+	}
+	// Characteristic potential scale: A_total / domain size.
+	var aTot float64
+	for _, p := range particles {
+		aTot += math.Abs(p.Charge)
+	}
+	scale := aTot / tr.Root.Size()
+	// Per-interaction budget: eps*scale spread over K(alpha) interactions
+	// in each of height+1 size classes.
+	budget := eps * scale /
+		(bounds.MaxInteractionsPerSize(alpha) * float64(tr.Height+1))
+	pMin := bounds.DegreeForError(aRef, sRef, alpha, budget)
+	if pMin < 1 {
+		pMin = 1
+	}
+	return NewSystem(particles, Config{
+		Method:    core.Adaptive,
+		Degree:    pMin,
+		MaxDegree: pMin + 30,
+		Alpha:     alpha,
+	})
+}

@@ -1,0 +1,120 @@
+package treecode
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewSystemForAccuracy(t *testing.T) {
+	parts, _ := GenerateCharged(Uniform, 3000, 9, 3000, false)
+	for _, eps := range []float64{1e-2, 1e-4} {
+		sys, err := NewSystemForAccuracy(parts, eps, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, _ := sys.Potentials()
+		exact := sys.Direct()
+		// The guarantee is on the per-point absolute error relative to the
+		// characteristic potential scale A/diam; check the measured mean.
+		var meanErr, scale float64
+		for i := range phi {
+			meanErr += math.Abs(phi[i] - exact[i])
+		}
+		meanErr /= float64(len(phi))
+		scale = 3000.0 / 1.0 // A_total / domain size
+		if meanErr > eps*scale {
+			t.Errorf("eps=%v: mean error %v exceeds budget %v", eps, meanErr, eps*scale)
+		}
+	}
+	// Tighter targets should pick larger degrees.
+	loose, _ := NewSystemForAccuracy(parts, 1e-2, 0.5)
+	tight, _ := NewSystemForAccuracy(parts, 1e-6, 0.5)
+	if tight.Evaluator().Cfg.Degree <= loose.Evaluator().Cfg.Degree {
+		t.Errorf("tighter eps should raise the degree: %d vs %d",
+			tight.Evaluator().Cfg.Degree, loose.Evaluator().Cfg.Degree)
+	}
+	if _, err := NewSystemForAccuracy(parts, 0, 0.5); err == nil {
+		t.Error("eps=0 should error")
+	}
+}
+
+func TestNewSystemForAccuracyZeroCharges(t *testing.T) {
+	parts, _ := Generate(Uniform, 100, 10)
+	for i := range parts {
+		parts[i].Charge = 0
+	}
+	sys, err := NewSystemForAccuracy(parts, 1e-3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, _ := sys.Potentials()
+	for _, p := range phi {
+		if p != 0 {
+			t.Fatal("zero charges must give zero potentials")
+		}
+	}
+}
+
+func TestMeshOFFFacade(t *testing.T) {
+	m := SphereMesh(1, 1, Vec3{})
+	var buf bytes.Buffer
+	if err := WriteMeshOFF(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMeshOFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTris() != m.NumTris() {
+		t.Fatal("OFF round trip changed the mesh")
+	}
+}
+
+func TestVTKFacade(t *testing.T) {
+	parts, _ := Generate(Uniform, 20, 11)
+	sys, err := NewSystem(parts, Config{Degree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, field, _ := sys.Fields()
+	var buf bytes.Buffer
+	if err := WriteParticlesVTK(&buf, parts,
+		map[string][]float64{"potential": phi},
+		map[string][]Vec3{"field": field}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SCALARS potential") {
+		t.Fatal("VTK output missing potential")
+	}
+	m := SphereMesh(0, 1, Vec3{})
+	buf.Reset()
+	if err := WriteMeshVTK(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "POLYGONS") {
+		t.Fatal("VTK mesh output missing polygons")
+	}
+}
+
+func TestSolvePreconditionedFacade(t *testing.T) {
+	m := PropellerMesh(3, 1)
+	bp, err := NewBoundaryProblem(m, BoundaryConfig{
+		Treecode: Config{Method: Adaptive, Degree: 5, Alpha: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, bp.N())
+	for i := range g {
+		g[i] = 1
+	}
+	res, err := bp.SolvePreconditioned(g, 1e-6, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("preconditioned propeller solve failed: %v after %d", res.Residual, res.Iterations)
+	}
+}

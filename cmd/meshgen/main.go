@@ -1,0 +1,62 @@
+// Command meshgen generates the built-in surfaces (sphere, propeller,
+// gripper) and writes them as OFF or legacy-VTK files, so the synthetic
+// geometry of the Table 3 reproduction can be inspected or reused.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"treecode/internal/mesh"
+	"treecode/internal/meshio"
+	"treecode/internal/vec"
+	"treecode/internal/vtk"
+)
+
+func main() {
+	surface := flag.String("surface", "propeller", "sphere|propeller|gripper")
+	density := flag.Int("density", 2, "resolution (sphere: subdivision level)")
+	blades := flag.Int("blades", 3, "propeller blade count")
+	format := flag.String("format", "off", "off|vtk")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var m *mesh.Mesh
+	switch *surface {
+	case "sphere":
+		m = mesh.Sphere(*density, 1, vec.V3{})
+	case "propeller":
+		m = mesh.Propeller(*blades, *density)
+	case "gripper":
+		m = mesh.Gripper(*density)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown surface:", *surface)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d elements, %d nodes\n", *surface, m.NumTris(), m.NumVerts())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "off":
+		err = meshio.WriteOFF(w, m)
+	case "vtk":
+		err = vtk.WriteMesh(w, m, nil)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+package treecode_test
+
+import (
+	"fmt"
+
+	"treecode"
+)
+
+// The basic workflow: generate particles, build a system, evaluate.
+func Example() {
+	parts, _ := treecode.Generate(treecode.Uniform, 5000, 1)
+	sys, _ := treecode.NewSystem(parts, treecode.Config{
+		Method: treecode.Adaptive,
+		Degree: 4,
+		Alpha:  0.5,
+	})
+	phi, _ := sys.Potentials()
+	err := treecode.RelativeError(phi, sys.Direct())
+	fmt.Printf("n=%d relative error below 1e-4: %v\n", len(phi), err < 1e-4)
+	// Output:
+	// n=5000 relative error below 1e-4: true
+}
+
+// Comparing the paper's two methods at the same minimum degree.
+func ExampleConfig() {
+	parts, _ := treecode.GenerateCharged(treecode.Uniform, 4000, 1, 4000, false)
+	var errs []float64
+	for _, m := range []treecode.Method{treecode.Original, treecode.Adaptive} {
+		sys, _ := treecode.NewSystem(parts, treecode.Config{Method: m, Degree: 3})
+		phi, _ := sys.Potentials()
+		errs = append(errs, treecode.RelativeError(phi, sys.Direct()))
+	}
+	fmt.Printf("adaptive beats original: %v\n", errs[1] < errs[0])
+	// Output:
+	// adaptive beats original: true
+}
+
+// Solving a boundary-element problem: the capacitance of the unit sphere.
+func ExampleBoundaryProblem_Solve() {
+	m := treecode.SphereMesh(2, 1, treecode.Vec3{})
+	bp, _ := treecode.NewBoundaryProblem(m, treecode.BoundaryConfig{})
+	g := make([]float64, bp.N())
+	for i := range g {
+		g[i] = 1
+	}
+	res, _ := bp.Solve(g, 1e-6, 300)
+	c := bp.TotalCharge(res.Density)
+	fmt.Printf("converged=%v capacitance within 3%% of exact: %v\n",
+		res.Converged, c > 0.97 && c < 1.03)
+	// Output:
+	// converged=true capacitance within 3% of exact: true
+}
+
+// Evaluating fields and total electrostatic energy.
+func ExampleSystem_Fields() {
+	parts, _ := treecode.Generate(treecode.Gaussian, 2000, 5)
+	sys, _ := treecode.NewSystem(parts, treecode.Config{Degree: 6, Alpha: 0.4})
+	_, field, _ := sys.Fields()
+	u, _ := sys.Energy()
+	fmt.Printf("fields=%d energy positive for like charges: %v\n", len(field), u > 0)
+	// Output:
+	// fields=2000 energy positive for like charges: true
+}

@@ -1,0 +1,64 @@
+// Protein: electrostatics of a protein-like system — the paper's motivating
+// case for adaptive degrees, since biomolecular charge density is roughly
+// uniform in space, making the total charge (and with it the fixed-degree
+// method's error) grow with system size.
+//
+// This example uses the accuracy-targeted constructor to pick the multipole
+// degree from a requested error budget, evaluates potentials and fields at
+// every charge site, and writes a ParaView-readable VTK point cloud.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"treecode"
+)
+
+func main() {
+	// A 30k-site system with unit partial charges of alternating sign
+	// (zero net charge, like a neutral protein with polar residues).
+	const n = 30000
+	parts, err := treecode.GenerateCharged(treecode.MultiGauss, n, 13, float64(n), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ask for a guaranteed error budget instead of picking a degree.
+	sys, err := treecode.NewSystemForAccuracy(parts, 1e-4, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy-selected minimum degree: %d\n", sys.Evaluator().Cfg.Degree)
+
+	phi, field, stats := sys.Fields()
+	fmt.Printf("evaluated %d potentials+fields in %v (%d terms, max degree %d)\n",
+		n, stats.EvalTime, stats.Terms, stats.MaxDegree)
+
+	// Locate the extreme potential sites (binding-pocket style diagnostics).
+	minI, maxI := 0, 0
+	for i, p := range phi {
+		if p < phi[minI] {
+			minI = i
+		}
+		if p > phi[maxI] {
+			maxI = i
+		}
+	}
+	fmt.Printf("potential range: [%.4f at %v, %.4f at %v]\n",
+		phi[minI], parts[minI].Pos, phi[maxI], parts[maxI].Pos)
+
+	// Export for ParaView.
+	f, err := os.Create("protein.vtk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := treecode.WriteParticlesVTK(f, parts,
+		map[string][]float64{"potential": phi},
+		map[string][]treecode.Vec3{"field": field}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote protein.vtk (charge, potential, field per site)")
+}

@@ -1,0 +1,3 @@
+module treecode
+
+go 1.22

@@ -1,0 +1,139 @@
+// Package analyze profiles a treecode's interaction structure: how many
+// particle-cluster interactions each tree level contributes, at what
+// degrees, for how many series terms, and with how much of the total error
+// bound. This turns the paper's analysis into an operational tool — the
+// aggregate-error theorem says each size class contributes a bounded number
+// of constant-error interactions, and the profile shows exactly that
+// distribution for a concrete run.
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"treecode/internal/core"
+	"treecode/internal/multipole"
+	"treecode/internal/stats"
+	"treecode/internal/tree"
+)
+
+// LevelStats aggregates the interactions with clusters at one tree level.
+type LevelStats struct {
+	Level     int
+	Nodes     int     // tree nodes at this level
+	PC        int64   // particle-cluster interactions with this level
+	Terms     int64   // series terms those interactions evaluate
+	BoundSum  float64 // total Theorem 1 bound contributed
+	MinDegree int
+	MaxDegree int
+}
+
+// Profile is the interaction census of an evaluator over sampled targets.
+type Profile struct {
+	Targets    int // number of targets profiled
+	Levels     []LevelStats
+	DegreeHist map[int]int64 // PC interactions per degree
+	PP         int64         // direct pairs
+	Terms      int64
+	PC         int64
+	BoundTotal float64
+}
+
+// Interactions profiles every stride-th particle of the evaluator (stride
+// <= 1 profiles all of them).
+func Interactions(e *core.Evaluator, stride int) *Profile {
+	if stride < 1 {
+		stride = 1
+	}
+	t := e.Tree
+	p := &Profile{
+		Levels:     make([]LevelStats, t.Height+1),
+		DegreeHist: make(map[int]int64),
+	}
+	for lvl := range p.Levels {
+		p.Levels[lvl].Level = lvl
+		p.Levels[lvl].MinDegree = 1 << 30
+	}
+	t.Walk(func(n *tree.Node) { p.Levels[n.Level].Nodes++ })
+
+	for i := 0; i < len(t.Pos); i += stride {
+		x := t.Pos[i]
+		p.Targets++
+		e.VisitInteractions(x, i, func(n *tree.Node, degree int) {
+			ls := &p.Levels[n.Level]
+			ls.PC++
+			terms := multipole.Terms(degree)
+			ls.Terms += terms
+			b := n.Mp.BoundAt(x, degree)
+			ls.BoundSum += b
+			if degree < ls.MinDegree {
+				ls.MinDegree = degree
+			}
+			if degree > ls.MaxDegree {
+				ls.MaxDegree = degree
+			}
+			p.DegreeHist[degree]++
+			p.PC++
+			p.Terms += terms
+			p.BoundTotal += b
+		}, func(int) {
+			p.PP++
+		})
+	}
+	for lvl := range p.Levels {
+		if p.Levels[lvl].PC == 0 {
+			p.Levels[lvl].MinDegree = 0
+		}
+	}
+	return p
+}
+
+// String renders the profile as the per-level table the analysis reads off.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profiled %d targets: %d cluster interactions, %s terms, %d direct pairs\n",
+		p.Targets, p.PC, stats.FormatCount(p.Terms), p.PP)
+	tb := stats.NewTable("level", "nodes", "PC/target", "degree", "terms%", "bound%")
+	for _, ls := range p.Levels {
+		if ls.PC == 0 {
+			continue
+		}
+		deg := fmt.Sprintf("%d", ls.MinDegree)
+		if ls.MaxDegree != ls.MinDegree {
+			deg = fmt.Sprintf("%d-%d", ls.MinDegree, ls.MaxDegree)
+		}
+		tb.AddRow(ls.Level, ls.Nodes,
+			float64(ls.PC)/float64(p.Targets),
+			deg,
+			100*float64(ls.Terms)/float64(p.Terms),
+			100*ls.BoundSum/p.BoundTotal)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// TreeSummary describes the decomposition itself.
+type TreeSummary struct {
+	Height    int
+	Nodes     int
+	Leaves    int
+	NodesPer  []int // per level
+	ChargeTop float64
+	MinLeafA  float64
+}
+
+// Summarize reports the decomposition statistics of an evaluator's tree.
+func Summarize(e *core.Evaluator) *TreeSummary {
+	t := e.Tree
+	s := &TreeSummary{
+		Height:    t.Height,
+		Nodes:     t.NNodes,
+		Leaves:    t.NLeaves,
+		NodesPer:  t.LevelsWithNodes(),
+		ChargeTop: t.Root.AbsCharge,
+	}
+	if a, _, ok := t.MinLeafStats(); ok {
+		s.MinLeafA = a
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"treecode/internal/core"
+	"treecode/internal/points"
+)
+
+func build(t *testing.T, method core.Method) *core.Evaluator {
+	t.Helper()
+	set, err := points.GenerateCharged(points.Uniform, 4000, 1, 4000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(set, core.Config{Method: method, Degree: 4, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestProfileConsistency(t *testing.T) {
+	e := build(t, core.Adaptive)
+	p := Interactions(e, 1) // all targets
+	// Cross-check against the evaluator's own stats.
+	_, st := e.Potentials()
+	if p.Terms != st.Terms || p.PC != st.PC || p.PP != st.PP {
+		t.Fatalf("profile (%d terms, %d PC, %d PP) disagrees with stats (%d, %d, %d)",
+			p.Terms, p.PC, p.PP, st.Terms, st.PC, st.PP)
+	}
+	// Level data sums to totals.
+	var terms, pc int64
+	var bound float64
+	for _, ls := range p.Levels {
+		terms += ls.Terms
+		pc += ls.PC
+		bound += ls.BoundSum
+	}
+	if terms != p.Terms || pc != p.PC {
+		t.Fatal("level sums do not match totals")
+	}
+	if bound <= 0 || p.BoundTotal <= 0 {
+		t.Fatal("bound accounting missing")
+	}
+	// Degree histogram sums to PC.
+	var hist int64
+	for _, c := range p.DegreeHist {
+		hist += c
+	}
+	if hist != p.PC {
+		t.Fatal("degree histogram does not sum to PC")
+	}
+}
+
+func TestOriginalVsAdaptiveProfiles(t *testing.T) {
+	orig := Interactions(build(t, core.Original), 7)
+	adpt := Interactions(build(t, core.Adaptive), 7)
+	// Original uses exactly one degree, adaptive several.
+	if len(orig.DegreeHist) != 1 {
+		t.Errorf("original should use a single degree, used %d", len(orig.DegreeHist))
+	}
+	if len(adpt.DegreeHist) < 2 {
+		t.Errorf("adaptive should use several degrees, used %d", len(adpt.DegreeHist))
+	}
+	// The adaptive method flattens the bound distribution: the share of the
+	// total bound carried by the topmost contributing level must shrink.
+	topShare := func(p *Profile) float64 {
+		for _, ls := range p.Levels {
+			if ls.PC > 0 {
+				return ls.BoundSum / p.BoundTotal
+			}
+		}
+		return 0
+	}
+	if topShare(adpt) >= topShare(orig) {
+		t.Errorf("adaptive top-level bound share %v not below original %v",
+			topShare(adpt), topShare(orig))
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := Interactions(build(t, core.Adaptive), 53)
+	s := p.String()
+	for _, want := range []string{"profiled", "level", "bound%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("profile output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStride(t *testing.T) {
+	e := build(t, core.Original)
+	all := Interactions(e, 1)
+	sampled := Interactions(e, 10)
+	if sampled.Targets >= all.Targets {
+		t.Fatal("stride did not reduce targets")
+	}
+	if sampled.Targets == 0 || sampled.PC == 0 {
+		t.Fatal("sampled profile empty")
+	}
+	// Stride < 1 behaves like 1.
+	if got := Interactions(e, 0); got.Targets != all.Targets {
+		t.Fatal("stride 0 should profile everything")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	e := build(t, core.Adaptive)
+	s := Summarize(e)
+	if s.Nodes <= 0 || s.Leaves <= 0 || s.Height <= 0 {
+		t.Fatalf("summary degenerate: %+v", s)
+	}
+	if len(s.NodesPer) != s.Height+1 || s.NodesPer[0] != 1 {
+		t.Fatal("per-level counts wrong")
+	}
+	if s.ChargeTop <= 0 || s.MinLeafA <= 0 {
+		t.Fatal("charge stats missing")
+	}
+}

@@ -1,0 +1,530 @@
+// Package core implements the paper's treecodes: the original fixed-degree
+// Barnes-Hut method and the improved adaptive-degree method that selects a
+// multipole degree per cluster from its net charge (Theorem 3), equalizing
+// the per-interaction error bound and reducing the aggregate error from
+// O(total charge) to O(log n) at marginal extra cost.
+//
+// The evaluator owns an octree whose nodes carry multipole expansions built
+// in a bottom-up pass (P2M at leaves, M2M upward). Because a node's degree
+// can exceed its children's, expansions are carried upward at the maximum
+// degree any ancestor requires ("computed a-priori to the maximum required
+// degree", as the paper prescribes) — in triangular storage a lower-degree
+// expansion is a prefix of a higher-degree one, so evaluation simply reads
+// the prefix it needs.
+//
+// Evaluation walks the tree per target with a multipole acceptance
+// criterion: accepted clusters contribute through M2P, rejected leaves
+// through direct summation. The paper's serial cost metric — the number of
+// multipole terms evaluated, (p+1)^2 per interaction — is tracked in Stats.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treecode/internal/bounds"
+	"treecode/internal/harmonics"
+	"treecode/internal/mac"
+	"treecode/internal/multipole"
+	"treecode/internal/points"
+	"treecode/internal/tree"
+	"treecode/internal/vec"
+)
+
+// Method selects between the paper's two algorithms.
+type Method int
+
+const (
+	// Original is the classical fixed-degree Barnes-Hut method: every
+	// cluster uses the same multipole degree.
+	Original Method = iota
+	// Adaptive is the paper's improved method: the degree of each cluster
+	// grows with its net absolute charge per Theorem 3, so that every
+	// accepted interaction carries the same error bound.
+	Adaptive
+)
+
+func (m Method) String() string {
+	if m == Adaptive {
+		return "adaptive"
+	}
+	return "original"
+}
+
+// Config controls evaluator construction.
+type Config struct {
+	// Method selects fixed-degree (Original) or per-cluster degrees
+	// (Adaptive). Default Original.
+	Method Method
+	// Alpha is the acceptance parameter of the paper's alpha-criterion,
+	// 0 < Alpha < 1. Default 0.5.
+	Alpha float64
+	// MAC overrides the acceptance criterion. Default mac.Alpha{Alpha}.
+	// The degree selection always uses Alpha.
+	MAC mac.MAC
+	// Degree is the multipole degree of the Original method and the
+	// minimum (reference) degree of the Adaptive method. Default 4.
+	Degree int
+	// MaxDegree clamps adaptive degrees (relevant for unstructured
+	// domains). Default Degree+20.
+	MaxDegree int
+	// LeafCap is the octree leaf capacity. Default 8.
+	LeafCap int
+	// Workers is the number of evaluation goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// ChunkSize is the number of consecutive (tree-ordered, hence
+	// proximity-preserving) targets aggregated per work unit, the paper's
+	// w. Default 64.
+	ChunkSize int
+	// MortonTree selects the Morton-sort tree construction (identical
+	// decomposition, cache-friendlier build for large n) instead of the
+	// recursive octant partition.
+	MortonTree bool
+	// RefQuantile selects the Theorem 3 reference cluster among the
+	// deepest-level leaves by charge quantile. 0 (default) is the theorem's
+	// choice — the smallest-charge leaf, the most accurate and most
+	// expensive; larger values (e.g. 0.5 for the median leaf) keep more
+	// clusters at the minimum degree, trading error for terms. Only used
+	// by the Adaptive method.
+	RefQuantile float64
+}
+
+func (c *Config) fill() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+	if c.MaxDegree == 0 {
+		c.MaxDegree = c.Degree + 20
+	}
+	if c.LeafCap == 0 {
+		c.LeafCap = 8
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 64
+	}
+	if c.MAC == nil {
+		c.MAC = mac.Alpha{Alpha: c.Alpha}
+	}
+}
+
+// Stats aggregates the cost and accuracy instrumentation of one evaluation.
+type Stats struct {
+	Terms       int64   // multipole series terms evaluated: sum (p+1)^2, the paper's metric
+	PC          int64   // particle-cluster (M2P) interactions
+	PP          int64   // particle-particle (direct) interactions
+	BoundSum    float64 // sum over targets of per-target error-bound totals
+	MaxDegree   int     // largest degree used in an accepted interaction
+	BuildTime   time.Duration
+	EvalTime    time.Duration
+	TreeHeight  int
+	TreeNodes   int
+	TreeLeaves  int
+	UpwardTerms int64 // terms computed in the P2M/M2M upward pass
+}
+
+// add merges o into s (not concurrency-safe; workers merge at the end).
+func (s *Stats) add(o *Stats) {
+	s.Terms += o.Terms
+	s.PC += o.PC
+	s.PP += o.PP
+	s.BoundSum += o.BoundSum
+	if o.MaxDegree > s.MaxDegree {
+		s.MaxDegree = o.MaxDegree
+	}
+}
+
+// Evaluator computes potentials/fields for a particle set with a treecode.
+type Evaluator struct {
+	Cfg  Config
+	Tree *tree.Tree
+
+	upDegree map[*tree.Node]int // degree expansions are carried at
+	buildT   time.Duration
+}
+
+// New builds the octree, selects per-node degrees, and runs the upward
+// multipole pass.
+func New(set *points.Set, cfg Config) (*Evaluator, error) {
+	cfg.fill()
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("core: alpha must be in (0,1), got %v", cfg.Alpha)
+	}
+	if cfg.Degree < 0 {
+		return nil, fmt.Errorf("core: negative degree %d", cfg.Degree)
+	}
+	start := time.Now()
+	build := tree.Build
+	if cfg.MortonTree {
+		build = tree.BuildMorton
+	}
+	tr, err := build(set, tree.Config{LeafCap: cfg.LeafCap})
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{Cfg: cfg, Tree: tr, upDegree: make(map[*tree.Node]int, tr.NNodes)}
+	e.selectDegrees()
+	e.buildExpansions()
+	e.buildT = time.Since(start)
+	return e, nil
+}
+
+// selectDegrees assigns every node its evaluation degree (Theorem 3 for the
+// adaptive method) and the degree its expansion must be carried at.
+func (e *Evaluator) selectDegrees() {
+	var sel *bounds.DegreeSelector
+	if e.Cfg.Method == Adaptive {
+		var aRef, sRef float64
+		var ok bool
+		if e.Cfg.RefQuantile > 0 {
+			aRef, sRef, ok = e.Tree.LeafStatsQuantile(e.Cfg.RefQuantile)
+		} else {
+			aRef, sRef, ok = e.Tree.MinLeafStats()
+		}
+		if ok {
+			sel = bounds.NewDegreeSelector(e.Cfg.Alpha, e.Cfg.Degree, e.Cfg.MaxDegree, aRef, sRef)
+		}
+	}
+	e.Tree.Walk(func(n *tree.Node) {
+		if sel != nil {
+			n.Degree = sel.Degree(n.AbsCharge, n.Size())
+		} else {
+			n.Degree = e.Cfg.Degree
+		}
+	})
+	// Upward-carry degree: expansions must be accurate enough for every
+	// ancestor's M2M, so carry max(own, parent's carry).
+	var down func(n *tree.Node, carry int)
+	down = func(n *tree.Node, carry int) {
+		if n.Degree > carry {
+			carry = n.Degree
+		}
+		e.upDegree[n] = carry
+		for _, c := range n.Children {
+			down(c, carry)
+		}
+	}
+	down(e.Tree.Root, 0)
+}
+
+// buildExpansions runs the upward pass: P2M at leaves, M2M to parents.
+func (e *Evaluator) buildExpansions() {
+	t := e.Tree
+	var buf []complex128
+	t.WalkPost(func(n *tree.Node) {
+		p := e.upDegree[n]
+		n.Mp = multipole.NewExpansion(n.Center, p)
+		if n.IsLeaf() {
+			if cap(buf) < harmonics.Len(p) {
+				buf = make([]complex128, harmonics.Len(p))
+			}
+			for i := n.Start; i < n.End; i++ {
+				n.Mp.AddParticleAt(t.Pos[i], t.Q[i], buf[:harmonics.Len(p)])
+			}
+			return
+		}
+		for _, c := range n.Children {
+			n.Mp.AccumulateTranslated(c.Mp)
+		}
+		// The translated radius estimate (child radius + shift) can
+		// overshoot the true cluster radius; the tree's exact value is
+		// available, so keep the tighter of the two.
+		if n.Radius < n.Mp.Radius {
+			n.Mp.Radius = n.Radius
+		}
+	})
+}
+
+// SetCharges replaces the particle charges (given in the original order used
+// to build the evaluator) and reruns the upward pass. The tree geometry and
+// degree selection are kept: degrees are a property of the decomposition
+// chosen at construction, exactly as the paper prescribes for iterative
+// solvers where only the source strengths change per iteration.
+func (e *Evaluator) SetCharges(q []float64) error {
+	t := e.Tree
+	if len(q) != len(t.Q) {
+		return fmt.Errorf("core: %d charges for %d particles", len(q), len(t.Q))
+	}
+	for i, orig := range t.Perm {
+		t.Q[i] = q[orig]
+	}
+	// Refresh node charge statistics (centers are kept: moving expansion
+	// centers would change the decomposition the degrees were chosen for).
+	t.WalkPost(func(n *tree.Node) {
+		var a, qq float64
+		for i := n.Start; i < n.End; i++ {
+			qq += t.Q[i]
+			a += math.Abs(t.Q[i])
+		}
+		n.Charge, n.AbsCharge = qq, a
+	})
+	e.buildExpansions()
+	return nil
+}
+
+// BuildTime returns the construction (tree + upward pass) time.
+func (e *Evaluator) BuildTime() time.Duration { return e.buildT }
+
+// Potentials returns the potential at every particle (self-interaction
+// excluded), in the original particle order, along with evaluation stats.
+func (e *Evaluator) Potentials() ([]float64, *Stats) {
+	t := e.Tree
+	n := len(t.Pos)
+	out := make([]float64, n)
+	stats := e.newStats()
+	start := time.Now()
+	e.parallelChunks(n, func(lo, hi int, w *worker) {
+		for i := lo; i < hi; i++ {
+			out[t.Perm[i]] = w.potential(t.Pos[i], i)
+		}
+	}, stats)
+	stats.EvalTime = time.Since(start)
+	return out, stats
+}
+
+// PotentialsAt evaluates the potential at arbitrary target points (no
+// self-exclusion).
+func (e *Evaluator) PotentialsAt(targets []vec.V3) ([]float64, *Stats) {
+	out := make([]float64, len(targets))
+	stats := e.newStats()
+	start := time.Now()
+	e.parallelChunks(len(targets), func(lo, hi int, w *worker) {
+		for i := lo; i < hi; i++ {
+			out[i] = w.potential(targets[i], -1)
+		}
+	}, stats)
+	stats.EvalTime = time.Since(start)
+	return out, stats
+}
+
+// Fields returns the potential and field E = -grad(phi) at every particle
+// (self-excluded), in original order.
+func (e *Evaluator) Fields() ([]float64, []vec.V3, *Stats) {
+	t := e.Tree
+	n := len(t.Pos)
+	phi := make([]float64, n)
+	field := make([]vec.V3, n)
+	stats := e.newStats()
+	start := time.Now()
+	e.parallelChunks(n, func(lo, hi int, w *worker) {
+		for i := lo; i < hi; i++ {
+			p, f := w.field(t.Pos[i], i)
+			phi[t.Perm[i]] = p
+			field[t.Perm[i]] = f
+		}
+	}, stats)
+	stats.EvalTime = time.Since(start)
+	return phi, field, stats
+}
+
+func (e *Evaluator) newStats() *Stats {
+	s := &Stats{
+		TreeHeight: e.Tree.Height,
+		TreeNodes:  e.Tree.NNodes,
+		TreeLeaves: e.Tree.NLeaves,
+		BuildTime:  e.buildT,
+	}
+	e.Tree.Walk(func(n *tree.Node) {
+		if n.IsLeaf() {
+			s.UpwardTerms += int64(n.Count()) * multipole.Terms(e.upDegree[n])
+		} else {
+			s.UpwardTerms += multipole.Terms(e.upDegree[n])
+		}
+	})
+	return s
+}
+
+// worker holds per-goroutine scratch state.
+type worker struct {
+	e     *Evaluator
+	buf   []complex128
+	stats Stats
+}
+
+func (e *Evaluator) newWorker() *worker {
+	maxP := 0
+	for _, d := range e.upDegree {
+		if d > maxP {
+			maxP = d
+		}
+	}
+	return &worker{e: e, buf: make([]complex128, harmonics.Len(maxP+1))}
+}
+
+// parallelChunks runs body over [0,n) in ChunkSize blocks on Workers
+// goroutines and merges per-worker stats.
+func (e *Evaluator) parallelChunks(n int, body func(lo, hi int, w *worker), stats *Stats) {
+	workers := e.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := e.Cfg.ChunkSize
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		w := e.newWorker()
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi, w)
+		}
+		stats.add(&w.stats)
+		return
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			w := e.newWorker()
+			for {
+				c := next.Add(1) - 1
+				lo := int(c) * chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi, w)
+			}
+			mu.Lock()
+			stats.add(&w.stats)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// potential evaluates the treecode potential at x; self >= 0 excludes the
+// particle at tree-order index self from direct sums.
+func (w *worker) potential(x vec.V3, self int) float64 {
+	return w.walk(w.e.Tree.Root, x, self)
+}
+
+func (w *worker) walk(n *tree.Node, x vec.V3, self int) float64 {
+	e := w.e
+	if e.Cfg.MAC.Accept(x, n) {
+		p := n.Degree
+		w.stats.Terms += multipole.Terms(p)
+		w.stats.PC++
+		if p > w.stats.MaxDegree {
+			w.stats.MaxDegree = p
+		}
+		w.stats.BoundSum += n.Mp.BoundAt(x, p)
+		return n.Mp.EvaluatePrefix(x, p, w.buf)
+	}
+	if n.IsLeaf() {
+		t := e.Tree
+		var phi float64
+		for j := n.Start; j < n.End; j++ {
+			if j == self {
+				continue
+			}
+			r := x.Dist(t.Pos[j])
+			if r == 0 {
+				continue // coincident target and source: skip, as direct does
+			}
+			phi += t.Q[j] / r
+			w.stats.PP++
+		}
+		return phi
+	}
+	var phi float64
+	for _, c := range n.Children {
+		phi += w.walk(c, x, self)
+	}
+	return phi
+}
+
+// field evaluates potential and field E = -grad(phi) at x.
+func (w *worker) field(x vec.V3, self int) (float64, vec.V3) {
+	return w.walkField(w.e.Tree.Root, x, self)
+}
+
+func (w *worker) walkField(n *tree.Node, x vec.V3, self int) (float64, vec.V3) {
+	e := w.e
+	if e.Cfg.MAC.Accept(x, n) {
+		p := n.Degree
+		w.stats.Terms += multipole.Terms(p)
+		w.stats.PC++
+		if p > w.stats.MaxDegree {
+			w.stats.MaxDegree = p
+		}
+		phi, grad := n.Mp.EvaluateFieldBuf(x, p, w.buf)
+		return phi, grad.Neg()
+	}
+	if n.IsLeaf() {
+		t := e.Tree
+		var phi float64
+		var f vec.V3
+		for j := n.Start; j < n.End; j++ {
+			if j == self {
+				continue
+			}
+			d := x.Sub(t.Pos[j])
+			r2 := d.Norm2()
+			if r2 == 0 {
+				continue
+			}
+			invR := 1 / math.Sqrt(r2)
+			phi += t.Q[j] * invR
+			f = f.Add(d.Scale(t.Q[j] * invR / r2))
+			w.stats.PP++
+		}
+		return phi, f
+	}
+	var phi float64
+	var f vec.V3
+	for _, c := range n.Children {
+		p, g := w.walkField(c, x, self)
+		phi += p
+		f = f.Add(g)
+	}
+	return phi, f
+}
+
+// VisitInteractions walks the interaction set of a target exactly as the
+// evaluator would, reporting each accepted cluster (with the degree it would
+// be evaluated at) and each directly-summed particle (tree-order index).
+// Used by the analysis tests, the parallel cost simulator, and the
+// communication model.
+func (e *Evaluator) VisitInteractions(x vec.V3, self int,
+	cluster func(n *tree.Node, degree int), particle func(j int)) {
+	var visit func(n *tree.Node)
+	visit = func(n *tree.Node) {
+		if e.Cfg.MAC.Accept(x, n) {
+			if cluster != nil {
+				cluster(n, n.Degree)
+			}
+			return
+		}
+		if n.IsLeaf() {
+			if particle != nil {
+				for j := n.Start; j < n.End; j++ {
+					if j != self {
+						particle(j)
+					}
+				}
+			}
+			return
+		}
+		for _, c := range n.Children {
+			visit(c)
+		}
+	}
+	visit(e.Tree.Root)
+}

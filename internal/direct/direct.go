@@ -1,0 +1,114 @@
+// Package direct computes exact O(n^2) potentials and fields. It is the
+// accuracy reference for every error measurement in the experiments (the
+// vector a in the paper's error definition ||a - a'|| / ||a||) and the
+// brute-force baseline for the benchmarks.
+package direct
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+// SelfPotentials returns phi_i = sum_{j != i} q_j / |x_i - x_j| for every
+// particle, excluding self-interaction, computed with workers goroutines
+// (0 means GOMAXPROCS).
+func SelfPotentials(set *points.Set, workers int) []float64 {
+	n := set.N()
+	out := make([]float64, n)
+	parallelFor(n, workers, func(i int) {
+		xi := set.Particles[i].Pos
+		var phi float64
+		for j, pj := range set.Particles {
+			if j == i {
+				continue
+			}
+			phi += pj.Charge / xi.Dist(pj.Pos)
+		}
+		out[i] = phi
+	})
+	return out
+}
+
+// Potentials returns the potential due to sources at each target point
+// (no self-exclusion; targets are assumed distinct from sources).
+func Potentials(sources []points.Particle, targets []vec.V3, workers int) []float64 {
+	out := make([]float64, len(targets))
+	parallelFor(len(targets), workers, func(i int) {
+		var phi float64
+		for _, s := range sources {
+			phi += s.Charge / targets[i].Dist(s.Pos)
+		}
+		out[i] = phi
+	})
+	return out
+}
+
+// SelfFields returns, for every particle, the potential and the field
+// E_i = -grad phi_i = sum_{j != i} q_j (x_i - x_j)/|x_i - x_j|^3.
+func SelfFields(set *points.Set, workers int) (phi []float64, field []vec.V3) {
+	n := set.N()
+	phi = make([]float64, n)
+	field = make([]vec.V3, n)
+	parallelFor(n, workers, func(i int) {
+		xi := set.Particles[i].Pos
+		var p float64
+		var f vec.V3
+		for j, pj := range set.Particles {
+			if j == i {
+				continue
+			}
+			d := xi.Sub(pj.Pos)
+			r2 := d.Norm2()
+			invR := 1 / math.Sqrt(r2)
+			p += pj.Charge * invR
+			f = f.Add(d.Scale(pj.Charge * invR / r2))
+		}
+		phi[i] = p
+		field[i] = f
+	})
+	return phi, field
+}
+
+// parallelFor runs f(i) for i in [0, n) on the given number of workers.
+func parallelFor(n, workers int, f func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	const chunk = 64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := next.Add(chunk) - chunk
+				if lo >= int64(n) {
+					return
+				}
+				hi := lo + chunk
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for i := lo; i < hi; i++ {
+					f(int(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

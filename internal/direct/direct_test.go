@@ -1,0 +1,125 @@
+package direct
+
+import (
+	"math"
+	"testing"
+
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+func TestSelfPotentialsTwoBody(t *testing.T) {
+	set := &points.Set{Particles: []points.Particle{
+		{Pos: vec.V3{X: 0}, Charge: 2},
+		{Pos: vec.V3{X: 3}, Charge: 5},
+	}}
+	phi := SelfPotentials(set, 1)
+	if math.Abs(phi[0]-5.0/3) > 1e-15 {
+		t.Errorf("phi[0] = %v", phi[0])
+	}
+	if math.Abs(phi[1]-2.0/3) > 1e-15 {
+		t.Errorf("phi[1] = %v", phi[1])
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	set, _ := points.Generate(points.Gaussian, 500, 1)
+	serial := SelfPotentials(set, 1)
+	parallel := SelfPotentials(set, 8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("worker-count changed result at %d: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestPotentialsAtTargets(t *testing.T) {
+	set := &points.Set{Particles: []points.Particle{
+		{Pos: vec.V3{X: 1}, Charge: 1},
+		{Pos: vec.V3{Y: 1}, Charge: -1},
+	}}
+	targets := []vec.V3{{X: -1}, {Z: 2}}
+	phi := Potentials(set.Particles, targets, 2)
+	want0 := 1.0/2 - 1/math.Sqrt(2)
+	want1 := 1/math.Sqrt(5) - 1/math.Sqrt(5)
+	if math.Abs(phi[0]-want0) > 1e-15 {
+		t.Errorf("phi[0] = %v want %v", phi[0], want0)
+	}
+	if math.Abs(phi[1]-want1) > 1e-15 {
+		t.Errorf("phi[1] = %v want %v", phi[1], want1)
+	}
+}
+
+func TestSelfFieldsAgainstGradient(t *testing.T) {
+	set, _ := points.Generate(points.Uniform, 60, 3)
+	phi, field := SelfFields(set, 0)
+	phiRef := SelfPotentials(set, 1)
+	for i := range phi {
+		if math.Abs(phi[i]-phiRef[i]) > 1e-12*(1+math.Abs(phiRef[i])) {
+			t.Fatalf("field potential differs at %d", i)
+		}
+	}
+	// Central-difference check of E = -grad phi at a few particles.
+	const h = 1e-6
+	for i := 0; i < 5; i++ {
+		x := set.Particles[i].Pos
+		num := vec.V3{}
+		for axis := 0; axis < 3; axis++ {
+			d := vec.V3{}
+			switch axis {
+			case 0:
+				d.X = h
+			case 1:
+				d.Y = h
+			case 2:
+				d.Z = h
+			}
+			potAt := func(p vec.V3) float64 {
+				var s float64
+				for j, pj := range set.Particles {
+					if j == i {
+						continue
+					}
+					s += pj.Charge / p.Dist(pj.Pos)
+				}
+				return s
+			}
+			g := (potAt(x.Add(d)) - potAt(x.Sub(d))) / (2 * h)
+			switch axis {
+			case 0:
+				num.X = -g
+			case 1:
+				num.Y = -g
+			case 2:
+				num.Z = -g
+			}
+		}
+		if num.Sub(field[i]).Norm() > 1e-4*(1+field[i].Norm()) {
+			t.Fatalf("field[%d] = %v, numeric %v", i, field[i], num)
+		}
+	}
+}
+
+func TestWorkerEdgeCases(t *testing.T) {
+	set, _ := points.Generate(points.Uniform, 3, 1)
+	// More workers than particles.
+	phi := SelfPotentials(set, 100)
+	if len(phi) != 3 {
+		t.Fatal("wrong length")
+	}
+	// Zero workers = GOMAXPROCS.
+	phi2 := SelfPotentials(set, 0)
+	for i := range phi {
+		if phi[i] != phi2[i] {
+			t.Fatal("worker default changed result")
+		}
+	}
+}
+
+func BenchmarkDirect2k(b *testing.B) {
+	set, _ := points.Generate(points.Uniform, 2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelfPotentials(set, 0)
+	}
+}

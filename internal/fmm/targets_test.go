@@ -1,0 +1,114 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+
+	"treecode/internal/core"
+	"treecode/internal/direct"
+	"treecode/internal/points"
+	"treecode/internal/stats"
+	"treecode/internal/vec"
+)
+
+func TestFMMFieldsMatchDirect(t *testing.T) {
+	set, _ := points.Generate(points.Uniform, 2000, 1)
+	e, err := New(set, Config{Degree: 8, Alpha: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, field, st := e.Fields()
+	wantPhi, wantField := direct.SelfFields(set, 0)
+	if re := stats.RelErr2(phi, wantPhi); re > 1e-4 {
+		t.Fatalf("FMM field potential error %v", re)
+	}
+	var num, den float64
+	for i := range field {
+		num += field[i].Sub(wantField[i]).Norm2()
+		den += wantField[i].Norm2()
+	}
+	if math.Sqrt(num/den) > 1e-3 {
+		t.Fatalf("FMM field error %v", math.Sqrt(num/den))
+	}
+	if st.M2L == 0 {
+		t.Fatal("no far-field work")
+	}
+	// Fields' potential agrees with Potentials.
+	phi2, _ := e.Potentials()
+	if re := stats.RelErr2(phi, phi2); re > 1e-12 {
+		t.Fatalf("Fields and Potentials disagree: %v", re)
+	}
+}
+
+func TestFMMPotentialsAtMatchesDirect(t *testing.T) {
+	set, _ := points.Generate(points.MultiGauss, 3000, 2)
+	e, err := New(set, Config{Method: core.Adaptive, Degree: 6, Alpha: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Targets both inside and outside the source cloud.
+	var targets []vec.V3
+	for i := 0; i < 200; i++ {
+		targets = append(targets, vec.V3{
+			X: 1.4 * math.Sin(float64(i)),
+			Y: 0.5 + 0.8*math.Cos(float64(2*i)),
+			Z: 0.5 + 0.6*math.Sin(float64(3*i)),
+		})
+	}
+	got, st, err := e.PotentialsAt(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.Potentials(set.Particles, targets, 0)
+	if re := stats.RelErr2(got, want); re > 1e-4 {
+		t.Fatalf("PotentialsAt error %v", re)
+	}
+	if st.M2L == 0 || st.P2P == 0 {
+		t.Fatalf("degenerate stats %+v", st)
+	}
+}
+
+func TestFMMPotentialsAtEdgeCases(t *testing.T) {
+	set, _ := points.Generate(points.Uniform, 500, 3)
+	e, err := New(set, Config{Degree: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty target list.
+	got, _, err := e.PotentialsAt(nil)
+	if err != nil || got != nil {
+		t.Fatal("empty targets should be a no-op")
+	}
+	// Single far target: potential ~ Q/r.
+	far := vec.V3{X: 50, Y: 50, Z: 50}
+	res, _, err := e.PotentialsAt([]vec.V3{far})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := far.Sub(vec.V3{X: 0.5, Y: 0.5, Z: 0.5}).Norm()
+	if math.Abs(res[0]-1/r) > 1e-4/r {
+		t.Fatalf("far potential %v, want ~%v", res[0], 1/r)
+	}
+	// Target coincident with a source: finite (skipped pair).
+	on := set.Particles[0].Pos
+	res2, _, err := e.PotentialsAt([]vec.V3{on})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res2[0], 0) || math.IsNaN(res2[0]) {
+		t.Fatalf("coincident target gave %v", res2[0])
+	}
+}
+
+func TestFMMFieldsWorkerInvariance(t *testing.T) {
+	set, _ := points.Generate(points.Gaussian, 1500, 4)
+	e1, _ := New(set, Config{Degree: 5, Workers: 1})
+	e4, _ := New(set, Config{Degree: 5, Workers: 4})
+	p1, f1, _ := e1.Fields()
+	p4, f4, _ := e4.Fields()
+	for i := range p1 {
+		if p1[i] != p4[i] || f1[i] != f4[i] {
+			t.Fatalf("worker count changed field results at %d", i)
+		}
+	}
+}

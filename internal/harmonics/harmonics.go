@@ -1,0 +1,136 @@
+// Package harmonics computes complex solid spherical harmonics, the basis
+// functions of multipole and local expansions for the 3-D Laplace kernel.
+//
+// # Conventions
+//
+// With spherical coordinates (rho, theta, phi) and associated Legendre
+// functions P_n^m carrying the Condon-Shortley phase, we use the Hobson
+// normalization:
+//
+//	regular:   R_n^m = rho^n   P_n^|m|(cos theta) e^{im phi} / (n+|m|)!
+//	irregular: S_n^m = (n-|m|)! P_n^|m|(cos theta) e^{im phi} / rho^{n+1}
+//
+// for -n <= m <= n, with the symmetries
+//
+//	R_n^{-m} = (-1)^m conj(R_n^m),   S_n^{-m} = (-1)^m conj(S_n^m),
+//
+// so only m >= 0 is stored (triangular layout, index Idx(n,m)).
+//
+// This normalization makes the expansion and translation theorems free of
+// coefficient factors:
+//
+//	1/|x-y| = sum_{n,m} conj(R_n^m(y)) S_n^m(x)              (|y| < |x|)
+//	R_n^m(a+b) = sum_{j<=n,k} R_j^k(a) R_{n-j}^{m-k}(b)       (exact)
+//	S_n^m(a+b) = sum_{j,k} (-1)^j conj(R_j^k(b)) S_{n+j}^{m+k}(a)   (|b| < |a|)
+//
+// which internal/multipole turns directly into the P2M/M2M/M2P/M2L/L2L/L2P
+// operators. Derivatives obey the ladder identities
+//
+//	dS/dz = -S_{n+1}^m, (dx+i dy)S = S_{n+1}^{m+1}, (dx-i dy)S = -S_{n+1}^{m-1}
+//	dR/dz =  R_{n-1}^m, (dx+i dy)R = R_{n-1}^{m+1}, (dx-i dy)R = -R_{n-1}^{m-1}
+//
+// (verified against finite differences in the tests), which give analytic
+// force evaluation.
+//
+// Both R and S are computed with factorial-free recurrences so that high
+// degrees (p ~ 30+) remain accurate:
+//
+//	R_m^m   = R_{m-1}^{m-1} * (-(x+iy)) / (2m)
+//	R_{m+1}^m = z * R_m^m
+//	R_n^m   = ((2n-1) z R_{n-1}^m - rho^2 R_{n-2}^m) / ((n-m)(n+m))
+//
+//	S_0^0   = 1/rho
+//	S_m^m   = S_{m-1}^{m-1} * (-(2m-1)(x+iy)) / rho^2
+//	S_{m+1}^m = (2m+1) z S_m^m / rho^2
+//	S_n^m   = ((2n-1) z S_{n-1}^m - (n+m-1)(n-m-1) S_{n-2}^m) / rho^2
+package harmonics
+
+import (
+	"math/cmplx"
+
+	"treecode/internal/vec"
+)
+
+// Idx maps (n, m) with 0 <= m <= n to the triangular storage index.
+func Idx(n, m int) int { return n*(n+1)/2 + m }
+
+// Len returns the number of stored coefficients for degree p.
+func Len(p int) int { return (p + 1) * (p + 2) / 2 }
+
+// Regular fills dst (length >= Len(p)) with R_n^m(v) for 0 <= m <= n <= p
+// and returns it. A nil dst allocates. The origin is fine: R_0^0 = 1 and all
+// higher terms vanish.
+func Regular(dst []complex128, v vec.V3, p int) []complex128 {
+	if dst == nil {
+		dst = make([]complex128, Len(p))
+	}
+	dst = dst[:Len(p)]
+	u := complex(v.X, v.Y) // rho sin(theta) e^{i phi}
+	z := complex(v.Z, 0)
+	rho2 := complex(v.Norm2(), 0)
+
+	dst[0] = 1
+	for m := 0; m <= p; m++ {
+		im := Idx(m, m)
+		if m > 0 {
+			dst[im] = dst[Idx(m-1, m-1)] * -u / complex(float64(2*m), 0)
+		}
+		if m+1 <= p {
+			dst[Idx(m+1, m)] = z * dst[im]
+		}
+		for n := m + 2; n <= p; n++ {
+			dst[Idx(n, m)] = (complex(float64(2*n-1), 0)*z*dst[Idx(n-1, m)] -
+				rho2*dst[Idx(n-2, m)]) / complex(float64((n-m)*(n+m)), 0)
+		}
+	}
+	return dst
+}
+
+// Irregular fills dst (length >= Len(p)) with S_n^m(v) for 0 <= m <= n <= p
+// and returns it. v must be nonzero; S is singular at the origin.
+func Irregular(dst []complex128, v vec.V3, p int) []complex128 {
+	if dst == nil {
+		dst = make([]complex128, Len(p))
+	}
+	dst = dst[:Len(p)]
+	u := complex(v.X, v.Y)
+	z := complex(v.Z, 0)
+	r2 := v.Norm2()
+	invR2 := complex(1/r2, 0)
+
+	dst[0] = complex(1/v.Norm(), 0)
+	for m := 0; m <= p; m++ {
+		im := Idx(m, m)
+		if m > 0 {
+			dst[im] = dst[Idx(m-1, m-1)] * -complex(float64(2*m-1), 0) * u * invR2
+		}
+		if m+1 <= p {
+			dst[Idx(m+1, m)] = complex(float64(2*m+1), 0) * z * dst[im] * invR2
+		}
+		for n := m + 2; n <= p; n++ {
+			dst[Idx(n, m)] = (complex(float64(2*n-1), 0)*z*dst[Idx(n-1, m)] -
+				complex(float64((n+m-1)*(n-m-1)), 0)*dst[Idx(n-2, m)]) * invR2
+		}
+	}
+	return dst
+}
+
+// Get returns the coefficient for any -n <= m <= n from a triangular table,
+// applying the symmetry T_n^{-m} = (-1)^m conj(T_n^m). Out-of-range (n, m)
+// returns 0, which lets translation loops run over full index ranges.
+func Get(t []complex128, p, n, m int) complex128 {
+	if n < 0 || n > p {
+		return 0
+	}
+	if m > n || -m > n {
+		return 0
+	}
+	if m >= 0 {
+		return t[Idx(n, m)]
+	}
+	c := cmplx.Conj(t[Idx(n, -m)])
+	if (-m)%2 == 1 {
+		return -c
+	}
+	return c
+}

@@ -1,0 +1,348 @@
+package harmonics
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"treecode/internal/legendre"
+	"treecode/internal/vec"
+)
+
+func randVec(rng *rand.Rand, scale float64) vec.V3 {
+	return vec.V3{
+		X: scale * (2*rng.Float64() - 1),
+		Y: scale * (2*rng.Float64() - 1),
+		Z: scale * (2*rng.Float64() - 1),
+	}
+}
+
+// Reference implementations straight from the definitions (factorials and
+// all), used only to validate the recurrences.
+func refRegular(v vec.V3, n, m int) complex128 {
+	r, th, ph := v.Spherical()
+	if r == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	mag := math.Pow(r, float64(n)) * legendre.P(n, m, math.Cos(th)) / legendre.Factorial(n+m)
+	return cmplx.Rect(mag, float64(m)*ph)
+}
+
+func refIrregular(v vec.V3, n, m int) complex128 {
+	r, th, ph := v.Spherical()
+	mag := legendre.Factorial(n-m) * legendre.P(n, m, math.Cos(th)) / math.Pow(r, float64(n+1))
+	return cmplx.Rect(mag, float64(m)*ph)
+}
+
+func cclose(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol*(1+cmplx.Abs(a)+cmplx.Abs(b))
+}
+
+func TestRegularMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const p = 14
+	for i := 0; i < 100; i++ {
+		v := randVec(rng, 2)
+		tab := Regular(nil, v, p)
+		for n := 0; n <= p; n++ {
+			for m := 0; m <= n; m++ {
+				got := tab[Idx(n, m)]
+				want := refRegular(v, n, m)
+				if !cclose(got, want, 1e-10) {
+					t.Fatalf("R_%d^%d(%v) = %v, want %v", n, m, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIrregularMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const p = 14
+	for i := 0; i < 100; i++ {
+		v := randVec(rng, 2)
+		if v.Norm() < 0.1 {
+			continue
+		}
+		tab := Irregular(nil, v, p)
+		for n := 0; n <= p; n++ {
+			for m := 0; m <= n; m++ {
+				got := tab[Idx(n, m)]
+				want := refIrregular(v, n, m)
+				if !cclose(got, want, 1e-10) {
+					t.Fatalf("S_%d^%d(%v) = %v, want %v", n, m, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRegularAtOrigin(t *testing.T) {
+	tab := Regular(nil, vec.V3{}, 6)
+	if tab[0] != 1 {
+		t.Errorf("R_0^0(0) = %v", tab[0])
+	}
+	for i := 1; i < len(tab); i++ {
+		if tab[i] != 0 {
+			t.Errorf("R at origin index %d = %v, want 0", i, tab[i])
+		}
+	}
+}
+
+// The expansion theorem 1/|x-y| = sum conj(R_n^m(y)) S_n^m(x) is the
+// foundation of every operator; verify convergence and accuracy.
+func TestExpansionTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const p = 24
+	for i := 0; i < 200; i++ {
+		y := randVec(rng, 0.3)
+		x := randVec(rng, 1)
+		for x.Norm() < 2.5*y.Norm() || x.Norm() < 0.2 {
+			x = randVec(rng, 1.5)
+		}
+		ry := Regular(nil, y, p)
+		sx := Irregular(nil, x, p)
+		var sum float64
+		for n := 0; n <= p; n++ {
+			for m := -n; m <= n; m++ {
+				sum += real(cmplx.Conj(Get(ry, p, n, m)) * Get(sx, p, n, m))
+			}
+		}
+		want := 1 / x.Dist(y)
+		ratio := y.Norm() / x.Norm()
+		bound := math.Pow(ratio, float64(p+1)) / (x.Norm() - y.Norm())
+		if math.Abs(sum-want) > bound+1e-12 {
+			t.Fatalf("expansion theorem: got %v want %v (err %v > bound %v)",
+				sum, want, math.Abs(sum-want), bound)
+		}
+	}
+}
+
+func TestSymmetryGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const p = 8
+	v := randVec(rng, 1)
+	r := Regular(nil, v, p)
+	s := Irregular(nil, v.Add(vec.V3{X: 1}), p)
+	for n := 0; n <= p; n++ {
+		for m := 1; m <= n; m++ {
+			sign := complex(1, 0)
+			if m%2 == 1 {
+				sign = -1
+			}
+			if got, want := Get(r, p, n, -m), sign*cmplx.Conj(r[Idx(n, m)]); got != want {
+				t.Fatalf("R symmetry failed at (%d,%d)", n, m)
+			}
+			if got, want := Get(s, p, n, -m), sign*cmplx.Conj(s[Idx(n, m)]); got != want {
+				t.Fatalf("S symmetry failed at (%d,%d)", n, m)
+			}
+		}
+	}
+	if Get(r, p, p+1, 0) != 0 || Get(r, p, 2, 3) != 0 || Get(r, p, -1, 0) != 0 {
+		t.Error("out-of-range Get should be 0")
+	}
+}
+
+// Parity: R_n^m(-v) = (-1)^n R_n^m(v), S_n^m(-v) = (-1)^n S_n^m(v).
+func TestParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const p = 10
+	for i := 0; i < 50; i++ {
+		v := randVec(rng, 1)
+		if v.Norm() < 0.1 {
+			continue
+		}
+		r1 := Regular(nil, v, p)
+		r2 := Regular(nil, v.Neg(), p)
+		s1 := Irregular(nil, v, p)
+		s2 := Irregular(nil, v.Neg(), p)
+		for n := 0; n <= p; n++ {
+			sign := complex(1, 0)
+			if n%2 == 1 {
+				sign = -1
+			}
+			for m := 0; m <= n; m++ {
+				if !cclose(r2[Idx(n, m)], sign*r1[Idx(n, m)], 1e-12) {
+					t.Fatalf("R parity failed at (%d,%d)", n, m)
+				}
+				if !cclose(s2[Idx(n, m)], sign*s1[Idx(n, m)], 1e-12) {
+					t.Fatalf("S parity failed at (%d,%d)", n, m)
+				}
+			}
+		}
+	}
+}
+
+// Ladder derivative identities, checked by central finite differences.
+func TestDerivativeIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const p = 6
+	const h = 1e-6
+	diff := func(f func(vec.V3) complex128, v vec.V3, axis int) complex128 {
+		d := vec.V3{}
+		switch axis {
+		case 0:
+			d.X = h
+		case 1:
+			d.Y = h
+		case 2:
+			d.Z = h
+		}
+		return (f(v.Add(d)) - f(v.Sub(d))) / complex(2*h, 0)
+	}
+	for i := 0; i < 30; i++ {
+		v := randVec(rng, 1)
+		if v.Norm() < 0.3 {
+			continue
+		}
+		sTab := Irregular(nil, v, p+1)
+		rTab := Regular(nil, v, p+1)
+		for n := 0; n <= p; n++ {
+			for m := -n; m <= n; m++ {
+				n, m := n, m
+				sf := func(w vec.V3) complex128 { return Get(Irregular(nil, w, n), n, n, m) }
+				rf := func(w vec.V3) complex128 { return Get(Regular(nil, w, n), n, n, m) }
+				dxS, dyS, dzS := diff(sf, v, 0), diff(sf, v, 1), diff(sf, v, 2)
+				dxR, dyR, dzR := diff(rf, v, 0), diff(rf, v, 1), diff(rf, v, 2)
+
+				// S identities.
+				if !cclose(dzS, -Get(sTab, p+1, n+1, m), 2e-4) {
+					t.Fatalf("dS/dz at (%d,%d): %v vs %v", n, m, dzS, -Get(sTab, p+1, n+1, m))
+				}
+				if !cclose(dxS+complex(0, 1)*dyS, Get(sTab, p+1, n+1, m+1), 2e-4) {
+					t.Fatalf("(dx+idy)S at (%d,%d)", n, m)
+				}
+				if !cclose(dxS-complex(0, 1)*dyS, -Get(sTab, p+1, n+1, m-1), 2e-4) {
+					t.Fatalf("(dx-idy)S at (%d,%d)", n, m)
+				}
+				// R identities.
+				if !cclose(dzR, Get(rTab, p+1, n-1, m), 2e-4) {
+					t.Fatalf("dR/dz at (%d,%d): %v vs %v", n, m, dzR, Get(rTab, p+1, n-1, m))
+				}
+				if !cclose(dxR+complex(0, 1)*dyR, Get(rTab, p+1, n-1, m+1), 2e-4) {
+					t.Fatalf("(dx+idy)R at (%d,%d)", n, m)
+				}
+				if !cclose(dxR-complex(0, 1)*dyR, -Get(rTab, p+1, n-1, m-1), 2e-4) {
+					t.Fatalf("(dx-idy)R at (%d,%d)", n, m)
+				}
+			}
+		}
+	}
+}
+
+// Regular addition theorem: R_n^m(a+b) = sum R_j^k(a) R_{n-j}^{m-k}(b).
+func TestRegularAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const p = 10
+	for i := 0; i < 50; i++ {
+		a := randVec(rng, 1)
+		b := randVec(rng, 1)
+		ra := Regular(nil, a, p)
+		rb := Regular(nil, b, p)
+		rab := Regular(nil, a.Add(b), p)
+		for n := 0; n <= p; n++ {
+			for m := 0; m <= n; m++ {
+				var sum complex128
+				for j := 0; j <= n; j++ {
+					for k := -j; k <= j; k++ {
+						sum += Get(ra, p, j, k) * Get(rb, p, n-j, m-k)
+					}
+				}
+				if !cclose(sum, rab[Idx(n, m)], 1e-10) {
+					t.Fatalf("regular addition failed at (%d,%d): %v vs %v", n, m, sum, rab[Idx(n, m)])
+				}
+			}
+		}
+	}
+}
+
+// Singular addition theorem: S_n^m(a+b) = sum_j (-1)^j conj(R_j^k(b)) S_{n+j}^{m+k}(a),
+// truncated; error decays like (|b|/|a|)^{J+1}.
+func TestSingularAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const p = 4
+	const pj = 22
+	for i := 0; i < 50; i++ {
+		a := randVec(rng, 1)
+		for a.Norm() < 0.5 {
+			a = randVec(rng, 1)
+		}
+		b := randVec(rng, 0.05)
+		sa := Irregular(nil, a, p+pj)
+		rb := Regular(nil, b, pj)
+		sab := Irregular(nil, a.Add(b), p)
+		for n := 0; n <= p; n++ {
+			for m := 0; m <= n; m++ {
+				var sum complex128
+				for j := 0; j <= pj; j++ {
+					sign := complex(1, 0)
+					if j%2 == 1 {
+						sign = -1
+					}
+					for k := -j; k <= j; k++ {
+						sum += sign * cmplx.Conj(Get(rb, pj, j, k)) * Get(sa, p+pj, n+j, m+k)
+					}
+				}
+				if !cclose(sum, sab[Idx(n, m)], 1e-8) {
+					t.Fatalf("singular addition failed at (%d,%d): %v vs %v", n, m, sum, sab[Idx(n, m)])
+				}
+			}
+		}
+	}
+}
+
+func TestLenIdx(t *testing.T) {
+	if Len(0) != 1 || Len(1) != 3 || Len(2) != 6 {
+		t.Error("Len wrong")
+	}
+	// Idx covers 0..Len(p)-1 exactly once.
+	const p = 9
+	seen := make(map[int]bool)
+	for n := 0; n <= p; n++ {
+		for m := 0; m <= n; m++ {
+			i := Idx(n, m)
+			if seen[i] {
+				t.Fatalf("Idx collision at (%d,%d)", n, m)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != Len(p) {
+		t.Fatalf("Idx covers %d slots, want %d", len(seen), Len(p))
+	}
+}
+
+func TestDstReuse(t *testing.T) {
+	v := vec.V3{X: 0.3, Y: -0.2, Z: 0.7}
+	buf := make([]complex128, Len(8))
+	out := Regular(buf, v, 8)
+	if &out[0] != &buf[0] {
+		t.Error("Regular should reuse dst")
+	}
+	fresh := Regular(nil, v, 8)
+	for i := range fresh {
+		if out[i] != fresh[i] {
+			t.Fatal("reused buffer result differs")
+		}
+	}
+}
+
+func BenchmarkRegularP8(b *testing.B) {
+	v := vec.V3{X: 0.3, Y: -0.2, Z: 0.7}
+	buf := make([]complex128, Len(8))
+	for i := 0; i < b.N; i++ {
+		Regular(buf, v, 8)
+	}
+}
+
+func BenchmarkIrregularP8(b *testing.B) {
+	v := vec.V3{X: 0.3, Y: -0.2, Z: 0.7}
+	buf := make([]complex128, Len(8))
+	for i := 0; i < b.N; i++ {
+		Irregular(buf, v, 8)
+	}
+}

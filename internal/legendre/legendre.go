@@ -1,0 +1,93 @@
+// Package legendre computes associated Legendre functions P_n^m(x). They are
+// the angular backbone of multipole expansions: the solid harmonics used by
+// the treecode are products of P_n^m(cos theta), powers of r, and e^{im phi}.
+//
+// The convention includes the Condon-Shortley phase (-1)^m, i.e.
+//
+//	P_n^m(x) = (-1)^m (1-x^2)^{m/2} d^m/dx^m P_n(x),
+//
+// which is what the solid-harmonic recurrences in internal/harmonics assume.
+package legendre
+
+import "math"
+
+// P returns P_n^m(x) for 0 <= m <= n and -1 <= x <= 1, computed by the
+// standard stable recurrences (diagonal, then upward in degree).
+func P(n, m int, x float64) float64 {
+	if m < 0 || m > n {
+		panic("legendre: need 0 <= m <= n")
+	}
+	// P_m^m = (-1)^m (2m-1)!! (1-x^2)^{m/2}.
+	pmm := 1.0
+	if m > 0 {
+		s := math.Sqrt((1 - x) * (1 + x))
+		f := 1.0
+		for i := 1; i <= m; i++ {
+			pmm *= -f * s
+			f += 2
+		}
+	}
+	if n == m {
+		return pmm
+	}
+	// P_{m+1}^m = x (2m+1) P_m^m.
+	pmmp1 := x * float64(2*m+1) * pmm
+	if n == m+1 {
+		return pmmp1
+	}
+	// Upward: (n-m) P_n^m = (2n-1) x P_{n-1}^m - (n+m-1) P_{n-2}^m.
+	var pnm float64
+	for k := m + 2; k <= n; k++ {
+		pnm = (float64(2*k-1)*x*pmmp1 - float64(k+m-1)*pmm) / float64(k-m)
+		pmm, pmmp1 = pmmp1, pnm
+	}
+	return pnm
+}
+
+// Table fills a triangular table t[Idx(n,m)] = P_n^m(x) for all 0<=m<=n<=p.
+// The returned slice has TableLen(p) entries.
+func Table(p int, x float64) []float64 {
+	t := make([]float64, TableLen(p))
+	s := math.Sqrt((1 - x) * (1 + x))
+	t[0] = 1
+	for m := 0; m <= p; m++ {
+		im := Idx(m, m)
+		if m > 0 {
+			t[im] = -float64(2*m-1) * s * t[Idx(m-1, m-1)]
+		}
+		if m+1 <= p {
+			t[Idx(m+1, m)] = x * float64(2*m+1) * t[im]
+		}
+		for n := m + 2; n <= p; n++ {
+			t[Idx(n, m)] = (float64(2*n-1)*x*t[Idx(n-1, m)] - float64(n+m-1)*t[Idx(n-2, m)]) / float64(n-m)
+		}
+	}
+	return t
+}
+
+// Idx maps (n, m) with 0 <= m <= n to the triangular index used by Table.
+func Idx(n, m int) int { return n*(n+1)/2 + m }
+
+// TableLen returns the number of entries in a degree-p triangular table.
+func TableLen(p int) int { return (p + 1) * (p + 2) / 2 }
+
+// Legendre returns the ordinary Legendre polynomial P_n(x) = P_n^0(x).
+func Legendre(n int, x float64) float64 { return P(n, 0, x) }
+
+// Factorial returns n! as a float64 (exact for n <= 22, accurate beyond).
+func Factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// DoubleFactorial returns n!! as a float64.
+func DoubleFactorial(n int) float64 {
+	f := 1.0
+	for i := n; i > 1; i -= 2 {
+		f *= float64(i)
+	}
+	return f
+}

@@ -1,0 +1,146 @@
+package legendre
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+// Closed forms for low orders (Condon-Shortley phase included).
+func TestClosedForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		x := 2*rng.Float64() - 1
+		s := math.Sqrt(1 - x*x)
+		cases := []struct {
+			n, m int
+			want float64
+		}{
+			{0, 0, 1},
+			{1, 0, x},
+			{1, 1, -s},
+			{2, 0, 0.5 * (3*x*x - 1)},
+			{2, 1, -3 * x * s},
+			{2, 2, 3 * (1 - x*x)},
+			{3, 0, 0.5 * (5*x*x*x - 3*x)},
+			{3, 1, -1.5 * (5*x*x - 1) * s},
+			{3, 2, 15 * x * (1 - x*x)},
+			{3, 3, -15 * s * s * s},
+			{4, 0, 0.125 * (35*x*x*x*x - 30*x*x + 3)},
+		}
+		for _, c := range cases {
+			if got := P(c.n, c.m, x); !close(got, c.want, 1e-12) {
+				t.Fatalf("P(%d,%d,%v) = %v, want %v", c.n, c.m, x, got, c.want)
+			}
+		}
+	}
+}
+
+func TestTableMatchesP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const p = 12
+	for i := 0; i < 100; i++ {
+		x := 2*rng.Float64() - 1
+		tab := Table(p, x)
+		if len(tab) != TableLen(p) {
+			t.Fatalf("table length %d", len(tab))
+		}
+		for n := 0; n <= p; n++ {
+			for m := 0; m <= n; m++ {
+				if got, want := tab[Idx(n, m)], P(n, m, x); !close(got, want, 1e-11) {
+					t.Fatalf("table (%d,%d) = %v, want %v", n, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	// P_n(1) = 1, P_n(-1) = (-1)^n; P_n^m(+-1) = 0 for m > 0.
+	for n := 0; n <= 10; n++ {
+		if got := Legendre(n, 1); !close(got, 1, 1e-13) {
+			t.Errorf("P_%d(1) = %v", n, got)
+		}
+		want := 1.0
+		if n%2 == 1 {
+			want = -1
+		}
+		if got := Legendre(n, -1); !close(got, want, 1e-13) {
+			t.Errorf("P_%d(-1) = %v", n, got)
+		}
+		for m := 1; m <= n; m++ {
+			if got := P(n, m, 1); got != 0 {
+				t.Errorf("P_%d^%d(1) = %v, want 0", n, m, got)
+			}
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	// P_n^m(-x) = (-1)^{n+m} P_n^m(x).
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		x := 2*rng.Float64() - 1
+		for n := 0; n <= 8; n++ {
+			for m := 0; m <= n; m++ {
+				sign := 1.0
+				if (n+m)%2 == 1 {
+					sign = -1
+				}
+				if got, want := P(n, m, -x), sign*P(n, m, x); !close(got, want, 1e-12) {
+					t.Fatalf("parity failed at n=%d m=%d x=%v", n, m, x)
+				}
+			}
+		}
+	}
+}
+
+func TestOrthogonality(t *testing.T) {
+	// Integral over [-1,1] of P_n P_k = 2/(2n+1) delta_nk, via Simpson's rule.
+	const steps = 2000
+	integrate := func(n, k int) float64 {
+		h := 2.0 / steps
+		sum := Legendre(n, -1)*Legendre(k, -1) + Legendre(n, 1)*Legendre(k, 1)
+		for i := 1; i < steps; i++ {
+			x := -1 + float64(i)*h
+			w := 2.0
+			if i%2 == 1 {
+				w = 4
+			}
+			sum += w * Legendre(n, x) * Legendre(k, x)
+		}
+		return sum * h / 3
+	}
+	for n := 0; n <= 6; n++ {
+		for k := 0; k <= 6; k++ {
+			got := integrate(n, k)
+			want := 0.0
+			if n == k {
+				want = 2 / float64(2*n+1)
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("orthogonality (%d,%d): %v, want %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestFactorials(t *testing.T) {
+	if Factorial(0) != 1 || Factorial(1) != 1 || Factorial(5) != 120 || Factorial(10) != 3628800 {
+		t.Error("Factorial wrong")
+	}
+	if DoubleFactorial(0) != 1 || DoubleFactorial(1) != 1 || DoubleFactorial(5) != 15 || DoubleFactorial(6) != 48 {
+		t.Error("DoubleFactorial wrong")
+	}
+}
+
+func TestPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for m > n")
+		}
+	}()
+	P(2, 3, 0.5)
+}

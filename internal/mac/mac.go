@@ -1,0 +1,72 @@
+// Package mac implements multipole acceptance criteria. A MAC decides
+// whether a target point may interact with a cluster through the cluster's
+// multipole expansion or must descend into its children.
+//
+// The paper's alpha-criterion requires the cluster to look small from the
+// target: the ratio of cluster extent to distance must not exceed a constant
+// alpha < 1, which makes the geometric factor (a/r)^{p+1} of the truncation
+// bound at most alpha^{p+1}.
+package mac
+
+import (
+	"fmt"
+
+	"treecode/internal/tree"
+	"treecode/internal/vec"
+)
+
+// MAC is a multipole acceptance criterion.
+type MAC interface {
+	// Accept reports whether the target point x may interact with node n
+	// through n's multipole expansion.
+	Accept(x vec.V3, n *tree.Node) bool
+	// String describes the criterion.
+	String() string
+}
+
+// Alpha is the paper's criterion in its sharp, radius-based form:
+// accept when a/r <= alpha, with a the cluster radius about the expansion
+// center and r the distance from the target to that center. This is exactly
+// the premise of the Theorem 1/2 error bounds.
+type Alpha struct {
+	Alpha float64
+}
+
+// Accept implements MAC.
+func (m Alpha) Accept(x vec.V3, n *tree.Node) bool {
+	r := x.Dist(n.Center)
+	return n.Radius <= m.Alpha*r && r > 0
+}
+
+func (m Alpha) String() string { return fmt.Sprintf("alpha=%g (radius)", m.Alpha) }
+
+// BoxAlpha is the box-dimension form used operationally by Barnes-Hut
+// codes: accept when s/r <= alpha with s the box edge length. Since the
+// cluster radius satisfies a <= s*sqrt(3)/2, BoxAlpha{alpha} implies
+// Alpha{alpha*sqrt(3)/2}.
+type BoxAlpha struct {
+	Alpha float64
+}
+
+// Accept implements MAC.
+func (m BoxAlpha) Accept(x vec.V3, n *tree.Node) bool {
+	r := x.Dist(n.Center)
+	return n.Size() <= m.Alpha*r && r > 0
+}
+
+func (m BoxAlpha) String() string { return fmt.Sprintf("alpha=%g (box)", m.Alpha) }
+
+// MinDist is a conservative variant accepting only if the whole box
+// (not just its particles) is far: accept when halfdiag(box)/dist(x, box
+// center) <= alpha. Useful as a worst-case baseline in tests.
+type MinDist struct {
+	Alpha float64
+}
+
+// Accept implements MAC.
+func (m MinDist) Accept(x vec.V3, n *tree.Node) bool {
+	r := x.Dist(n.Box.Center())
+	return n.Box.HalfDiagonal() <= m.Alpha*r && r > 0
+}
+
+func (m MinDist) String() string { return fmt.Sprintf("alpha=%g (mindist)", m.Alpha) }

@@ -1,0 +1,338 @@
+// Package mesh provides the triangular surface meshes of the boundary-
+// element experiments. The paper's industrial meshes (an airplane propeller
+// and two grippers) are not publicly available, so this package generates
+// parametric substitutes with the property the experiment actually
+// exercises: highly unstructured particle distributions where all nodes
+// concentrate on 2-D surfaces and the bulk of the 3-D volume is empty.
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"treecode/internal/geom"
+	"treecode/internal/vec"
+)
+
+// Mesh is an indexed triangle surface.
+type Mesh struct {
+	Verts []vec.V3
+	Tris  [][3]int
+}
+
+// NumVerts returns the vertex count (the paper's "nodes").
+func (m *Mesh) NumVerts() int { return len(m.Verts) }
+
+// NumTris returns the triangle count (the paper's "elements").
+func (m *Mesh) NumTris() int { return len(m.Tris) }
+
+// TriVerts returns the three corner positions of triangle t.
+func (m *Mesh) TriVerts(t int) (a, b, c vec.V3) {
+	tri := m.Tris[t]
+	return m.Verts[tri[0]], m.Verts[tri[1]], m.Verts[tri[2]]
+}
+
+// Area returns the area of triangle t.
+func (m *Mesh) Area(t int) float64 {
+	a, b, c := m.TriVerts(t)
+	return b.Sub(a).Cross(c.Sub(a)).Norm() / 2
+}
+
+// TotalArea returns the sum of all triangle areas.
+func (m *Mesh) TotalArea() float64 {
+	var s float64
+	for t := range m.Tris {
+		s += m.Area(t)
+	}
+	return s
+}
+
+// Centroid returns the centroid of triangle t.
+func (m *Mesh) Centroid(t int) vec.V3 {
+	a, b, c := m.TriVerts(t)
+	return a.Add(b).Add(c).Scale(1.0 / 3)
+}
+
+// Bounds returns the bounding box of the vertices.
+func (m *Mesh) Bounds() geom.AABB {
+	return geom.Bound(m.Verts)
+}
+
+// Validate checks index ranges and degenerate triangles.
+func (m *Mesh) Validate() error {
+	for t, tri := range m.Tris {
+		for _, v := range tri {
+			if v < 0 || v >= len(m.Verts) {
+				return fmt.Errorf("mesh: triangle %d references vertex %d of %d", t, v, len(m.Verts))
+			}
+		}
+		if tri[0] == tri[1] || tri[1] == tri[2] || tri[0] == tri[2] {
+			return fmt.Errorf("mesh: triangle %d repeats a vertex", t)
+		}
+		if m.Area(t) <= 0 {
+			return fmt.Errorf("mesh: triangle %d is degenerate", t)
+		}
+	}
+	return nil
+}
+
+// Append merges other into m, offsetting indices.
+func (m *Mesh) Append(other *Mesh) {
+	off := len(m.Verts)
+	m.Verts = append(m.Verts, other.Verts...)
+	for _, t := range other.Tris {
+		m.Tris = append(m.Tris, [3]int{t[0] + off, t[1] + off, t[2] + off})
+	}
+}
+
+// Transform applies f to every vertex.
+func (m *Mesh) Transform(f func(vec.V3) vec.V3) {
+	for i, v := range m.Verts {
+		m.Verts[i] = f(v)
+	}
+}
+
+// Weld merges vertices closer than tol (tol <= 0 picks 1e-9 of the bounding
+// diagonal) and drops triangles that become degenerate. Parametric
+// generators produce coincident seam vertices (e.g. where a cylinder wraps
+// around); welding them is required for collocation BEM, where duplicate
+// collocation points make the system singular.
+func (m *Mesh) Weld(tol float64) {
+	if len(m.Verts) == 0 {
+		return
+	}
+	if tol <= 0 {
+		tol = 1e-9 * m.Bounds().Size().Norm()
+		if tol == 0 {
+			tol = 1e-15
+		}
+	}
+	type cell [3]int64
+	quant := func(v vec.V3) cell {
+		return cell{
+			int64(math.Floor(v.X / tol)),
+			int64(math.Floor(v.Y / tol)),
+			int64(math.Floor(v.Z / tol)),
+		}
+	}
+	grid := make(map[cell][]int) // cell -> new vertex indices in that cell
+	remap := make([]int, len(m.Verts))
+	var verts []vec.V3
+	for i, v := range m.Verts {
+		c := quant(v)
+		found := -1
+		// Check the 27 neighboring cells for an existing vertex within tol.
+	search:
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				for dz := int64(-1); dz <= 1; dz++ {
+					for _, j := range grid[cell{c[0] + dx, c[1] + dy, c[2] + dz}] {
+						if verts[j].Dist(v) <= tol {
+							found = j
+							break search
+						}
+					}
+				}
+			}
+		}
+		if found >= 0 {
+			remap[i] = found
+			continue
+		}
+		verts = append(verts, v)
+		remap[i] = len(verts) - 1
+		grid[c] = append(grid[c], len(verts)-1)
+	}
+	var tris [][3]int
+	for _, t := range m.Tris {
+		nt := [3]int{remap[t[0]], remap[t[1]], remap[t[2]]}
+		if nt[0] == nt[1] || nt[1] == nt[2] || nt[0] == nt[2] {
+			continue // collapsed at a seam
+		}
+		tris = append(tris, nt)
+	}
+	m.Verts = verts
+	m.Tris = tris
+}
+
+// EulerCharacteristic returns V - E + F (2 for a closed sphere-like surface,
+// 1 for a disk-like sheet).
+func (m *Mesh) EulerCharacteristic() int {
+	edges := make(map[[2]int]struct{})
+	for _, t := range m.Tris {
+		for k := 0; k < 3; k++ {
+			a, b := t[k], t[(k+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			edges[[2]int{a, b}] = struct{}{}
+		}
+	}
+	return len(m.Verts) - len(edges) + len(m.Tris)
+}
+
+// Sphere builds an icosphere: an icosahedron subdivided `subdiv` times and
+// projected onto the sphere of the given radius and center. Subdivision k
+// has 20*4^k triangles.
+func Sphere(subdiv int, radius float64, center vec.V3) *Mesh {
+	phi := (1 + math.Sqrt(5)) / 2
+	raw := []vec.V3{
+		{X: -1, Y: phi}, {X: 1, Y: phi}, {X: -1, Y: -phi}, {X: 1, Y: -phi},
+		{Y: -1, Z: phi}, {Y: 1, Z: phi}, {Y: -1, Z: -phi}, {Y: 1, Z: -phi},
+		{Z: -1, X: phi}, {Z: 1, X: phi}, {Z: -1, X: -phi}, {Z: 1, X: -phi},
+	}
+	m := &Mesh{}
+	for _, v := range raw {
+		m.Verts = append(m.Verts, v.Normalize())
+	}
+	m.Tris = [][3]int{
+		{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+		{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+		{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+		{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+	}
+	for s := 0; s < subdiv; s++ {
+		cache := make(map[[2]int]int)
+		mid := func(a, b int) int {
+			key := [2]int{a, b}
+			if a > b {
+				key = [2]int{b, a}
+			}
+			if v, ok := cache[key]; ok {
+				return v
+			}
+			p := m.Verts[a].Add(m.Verts[b]).Scale(0.5).Normalize()
+			m.Verts = append(m.Verts, p)
+			cache[key] = len(m.Verts) - 1
+			return len(m.Verts) - 1
+		}
+		var tris [][3]int
+		for _, t := range m.Tris {
+			ab, bc, ca := mid(t[0], t[1]), mid(t[1], t[2]), mid(t[2], t[0])
+			tris = append(tris,
+				[3]int{t[0], ab, ca},
+				[3]int{t[1], bc, ab},
+				[3]int{t[2], ca, bc},
+				[3]int{ab, bc, ca})
+		}
+		m.Tris = tris
+	}
+	m.Transform(func(v vec.V3) vec.V3 { return v.Scale(radius).Add(center) })
+	return m
+}
+
+// grid builds a (nu+1) x (nv+1) vertex sheet triangulated into 2*nu*nv
+// triangles, with positions given by the parametric function f(u, v) for
+// u, v in [0, 1].
+func grid(nu, nv int, f func(u, v float64) vec.V3) *Mesh {
+	m := &Mesh{}
+	for i := 0; i <= nu; i++ {
+		for j := 0; j <= nv; j++ {
+			m.Verts = append(m.Verts, f(float64(i)/float64(nu), float64(j)/float64(nv)))
+		}
+	}
+	idx := func(i, j int) int { return i*(nv+1) + j }
+	for i := 0; i < nu; i++ {
+		for j := 0; j < nv; j++ {
+			m.Tris = append(m.Tris,
+				[3]int{idx(i, j), idx(i+1, j), idx(i+1, j+1)},
+				[3]int{idx(i, j), idx(i+1, j+1), idx(i, j+1)})
+		}
+	}
+	return m
+}
+
+// Propeller builds a synthetic aircraft-propeller surface: a cylindrical
+// hub plus `blades` twisted, tapered blade sheets. The density parameter
+// scales the resolution; element and node counts grow with density^2.
+// density=1 gives roughly 1.4k elements; density=10 roughly 140k, the
+// paper's scale.
+func Propeller(blades int, density int) *Mesh {
+	if blades <= 0 {
+		blades = 3
+	}
+	if density <= 0 {
+		density = 1
+	}
+	m := &Mesh{}
+	// Hub: cylinder of radius 0.08, length 0.24 about the x-axis.
+	nu, nv := 8*density, 12*density
+	hub := grid(nu, nv, func(u, v float64) vec.V3 {
+		ang := 2 * math.Pi * v
+		return vec.V3{
+			X: -0.12 + 0.24*u,
+			Y: 0.08 * math.Cos(ang),
+			Z: 0.08 * math.Sin(ang),
+		}
+	})
+	m.Append(hub)
+	// Blades: span along radius, chord along x, with twist and taper.
+	for b := 0; b < blades; b++ {
+		phase := 2 * math.Pi * float64(b) / float64(blades)
+		blade := grid(20*density, 6*density, func(u, v float64) vec.V3 {
+			r := 0.08 + 0.42*u          // radial station
+			chord := 0.10 * (1 - 0.7*u) // taper
+			twist := 1.1 * (1 - u)      // twist angle decreases outboard
+			x := (v - 0.5) * chord * math.Cos(twist)
+			h := (v - 0.5) * chord * math.Sin(twist)
+			ang := phase + h/r
+			return vec.V3{
+				X: x,
+				Y: r * math.Cos(ang),
+				Z: r * math.Sin(ang),
+			}
+		})
+		m.Append(blade)
+	}
+	m.Weld(0)
+	return m
+}
+
+// Gripper builds a synthetic industrial-gripper surface: a C-shaped clamp
+// body with two fingers, assembled from bent sheets. density scales the
+// resolution; density=1 gives roughly 1.9k elements, density=10 roughly
+// 190k, the paper's scale.
+func Gripper(density int) *Mesh {
+	if density <= 0 {
+		density = 1
+	}
+	m := &Mesh{}
+	// Body: a C-shaped bent sheet (3/4 of a square tube wall).
+	body := grid(24*density, 10*density, func(u, v float64) vec.V3 {
+		ang := 1.5 * math.Pi * u // three quarters of a turn
+		r := 0.25
+		return vec.V3{
+			X: r * math.Cos(ang),
+			Y: r * math.Sin(ang),
+			Z: (v - 0.5) * 0.2,
+		}
+	})
+	m.Append(body)
+	// Two fingers: flat tapered sheets extending from the C's opening.
+	for s := 0; s < 2; s++ {
+		sign := 1.0
+		if s == 1 {
+			sign = -1
+		}
+		finger := grid(14*density, 6*density, func(u, v float64) vec.V3 {
+			w := 0.18 * (1 - 0.6*u)
+			return vec.V3{
+				X: 0.25 + 0.3*u,
+				Y: sign * (0.05 + 0.02*u),
+				Z: (v - 0.5) * w,
+			}
+		})
+		m.Append(finger)
+	}
+	// Back plate connecting the fingers.
+	plate := grid(8*density, 8*density, func(u, v float64) vec.V3 {
+		return vec.V3{
+			X: 0.22 + 0.06*u,
+			Y: -0.06 + 0.12*v,
+			Z: 0.11,
+		}
+	})
+	m.Append(plate)
+	m.Weld(0)
+	return m
+}

@@ -1,0 +1,226 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"treecode/internal/vec"
+)
+
+func TestSphereGeometry(t *testing.T) {
+	for sub := 0; sub <= 3; sub++ {
+		m := Sphere(sub, 2, vec.V3{X: 1, Y: 1, Z: 1})
+		if err := m.Validate(); err != nil {
+			t.Fatalf("subdiv %d: %v", sub, err)
+		}
+		wantTris := 20 * pow4(sub)
+		if m.NumTris() != wantTris {
+			t.Fatalf("subdiv %d: %d tris, want %d", sub, m.NumTris(), wantTris)
+		}
+		// Closed surface: Euler characteristic 2.
+		if chi := m.EulerCharacteristic(); chi != 2 {
+			t.Fatalf("subdiv %d: Euler characteristic %d", sub, chi)
+		}
+		// All vertices on the sphere.
+		for _, v := range m.Verts {
+			if math.Abs(v.Dist(vec.V3{X: 1, Y: 1, Z: 1})-2) > 1e-12 {
+				t.Fatalf("vertex off sphere: %v", v)
+			}
+		}
+	}
+	// Area converges to 4 pi r^2 from below.
+	m3 := Sphere(3, 1, vec.V3{})
+	if a := m3.TotalArea(); math.Abs(a-4*math.Pi)/(4*math.Pi) > 0.01 {
+		t.Errorf("subdiv-3 sphere area %v vs %v", a, 4*math.Pi)
+	}
+	m2 := Sphere(2, 1, vec.V3{})
+	if m2.TotalArea() >= m3.TotalArea() {
+		t.Error("inscribed areas should increase with subdivision")
+	}
+}
+
+func pow4(n int) int {
+	r := 1
+	for i := 0; i < n; i++ {
+		r *= 4
+	}
+	return r
+}
+
+func TestPropeller(t *testing.T) {
+	m := Propeller(3, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTris() < 500 || m.NumVerts() < 300 {
+		t.Fatalf("propeller too small: %d tris %d verts", m.NumTris(), m.NumVerts())
+	}
+	// Elements/nodes ratio near 2 like the paper's meshes.
+	ratio := float64(m.NumTris()) / float64(m.NumVerts())
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("element/node ratio %v unlike the paper's meshes", ratio)
+	}
+	// Density scaling: density 2 has ~4x elements.
+	m2 := Propeller(3, 2)
+	g := float64(m2.NumTris()) / float64(m.NumTris())
+	if g < 3 || g > 5 {
+		t.Errorf("density scaling factor %v, want ~4", g)
+	}
+	// Defaults.
+	if dflt := Propeller(0, 0); dflt.Validate() != nil {
+		t.Error("default propeller invalid")
+	}
+}
+
+func TestGripper(t *testing.T) {
+	m := Gripper(1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTris() < 500 {
+		t.Fatalf("gripper too small: %d tris", m.NumTris())
+	}
+	m2 := Gripper(2)
+	if m2.NumTris() <= m.NumTris()*3 {
+		t.Error("gripper density scaling broken")
+	}
+	if dflt := Gripper(0); dflt.Validate() != nil {
+		t.Error("default gripper invalid")
+	}
+}
+
+func TestUnstructuredness(t *testing.T) {
+	// The paper's point: surface meshes are highly unstructured particle
+	// sets — the bulk of the bounding volume is empty. Verify that the
+	// fraction of occupied octree-style cells is small.
+	m := Propeller(3, 2)
+	b := m.Bounds().Cube()
+	const grid = 16
+	occupied := make(map[[3]int]struct{})
+	for _, v := range m.Verts {
+		s := b.Size().X
+		i := int((v.X - b.Lo.X) / s * grid)
+		j := int((v.Y - b.Lo.Y) / s * grid)
+		k := int((v.Z - b.Lo.Z) / s * grid)
+		clamp := func(x int) int {
+			if x < 0 {
+				return 0
+			}
+			if x >= grid {
+				return grid - 1
+			}
+			return x
+		}
+		occupied[[3]int{clamp(i), clamp(j), clamp(k)}] = struct{}{}
+	}
+	frac := float64(len(occupied)) / float64(grid*grid*grid)
+	if frac > 0.35 {
+		t.Errorf("propeller fills %v of the volume; expected a sparse surface", frac)
+	}
+}
+
+func TestAreaAndCentroid(t *testing.T) {
+	m := &Mesh{
+		Verts: []vec.V3{{}, {X: 2}, {Y: 2}},
+		Tris:  [][3]int{{0, 1, 2}},
+	}
+	if got := m.Area(0); math.Abs(got-2) > 1e-14 {
+		t.Errorf("area = %v", got)
+	}
+	if got := m.Centroid(0); got.Dist(vec.V3{X: 2.0 / 3, Y: 2.0 / 3}) > 1e-14 {
+		t.Errorf("centroid = %v", got)
+	}
+	if m.TotalArea() != m.Area(0) {
+		t.Error("TotalArea")
+	}
+}
+
+func TestValidateCatchesBadMeshes(t *testing.T) {
+	bad1 := &Mesh{Verts: []vec.V3{{}, {X: 1}}, Tris: [][3]int{{0, 1, 2}}}
+	if bad1.Validate() == nil {
+		t.Error("out-of-range index not caught")
+	}
+	bad2 := &Mesh{Verts: []vec.V3{{}, {X: 1}, {Y: 1}}, Tris: [][3]int{{0, 1, 1}}}
+	if bad2.Validate() == nil {
+		t.Error("repeated vertex not caught")
+	}
+	bad3 := &Mesh{Verts: []vec.V3{{}, {X: 1}, {X: 2}}, Tris: [][3]int{{0, 1, 2}}}
+	if bad3.Validate() == nil {
+		t.Error("degenerate (collinear) triangle not caught")
+	}
+}
+
+func TestAppendAndTransform(t *testing.T) {
+	a := Sphere(0, 1, vec.V3{})
+	nv, nt := a.NumVerts(), a.NumTris()
+	b := Sphere(0, 1, vec.V3{X: 5})
+	a.Append(b)
+	if a.NumVerts() != 2*nv || a.NumTris() != 2*nt {
+		t.Fatal("Append counts wrong")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a.Transform(func(v vec.V3) vec.V3 { return v.Scale(2) })
+	if math.Abs(a.Verts[0].Norm()-2) > 1e-12 {
+		t.Error("Transform not applied")
+	}
+}
+
+func TestWeld(t *testing.T) {
+	// Two squares sharing an edge, built with duplicated edge vertices.
+	m := &Mesh{
+		Verts: []vec.V3{
+			{X: 0}, {X: 1}, {X: 1, Y: 1}, {X: 0, Y: 1}, // square 1
+			{X: 1}, {X: 2}, {X: 2, Y: 1}, {X: 1, Y: 1}, // square 2 (verts 4,7 dup 1,2)
+		},
+		Tris: [][3]int{{0, 1, 2}, {0, 2, 3}, {4, 5, 6}, {4, 6, 7}},
+	}
+	m.Weld(1e-9)
+	if m.NumVerts() != 6 {
+		t.Fatalf("welded to %d verts, want 6", m.NumVerts())
+	}
+	if m.NumTris() != 4 {
+		t.Fatalf("welded to %d tris, want 4", m.NumTris())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate triangles collapse away.
+	d := &Mesh{
+		Verts: []vec.V3{{X: 0}, {X: 1e-12}, {Y: 1}},
+		Tris:  [][3]int{{0, 1, 2}},
+	}
+	d.Weld(1e-6)
+	if d.NumTris() != 0 {
+		t.Fatal("degenerate triangle should collapse on weld")
+	}
+	// Empty mesh is a no-op.
+	e := &Mesh{}
+	e.Weld(0)
+}
+
+func TestGeneratedMeshesHaveNoDuplicateVertices(t *testing.T) {
+	for name, m := range map[string]*Mesh{
+		"propeller": Propeller(3, 1),
+		"gripper":   Gripper(1),
+		"sphere":    Sphere(2, 1, vec.V3{}),
+	} {
+		tol := 1e-10 * m.Bounds().Size().Norm()
+		for i := 0; i < m.NumVerts(); i++ {
+			for j := i + 1; j < m.NumVerts(); j++ {
+				if m.Verts[i].Dist(m.Verts[j]) <= tol {
+					t.Fatalf("%s: vertices %d and %d coincide (collocation would be singular)", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSheetEuler(t *testing.T) {
+	// A single sheet (grid) is disk-like: Euler characteristic 1.
+	g := grid(4, 5, func(u, v float64) vec.V3 { return vec.V3{X: u, Y: v, Z: u * v} })
+	if chi := g.EulerCharacteristic(); chi != 1 {
+		t.Errorf("sheet Euler characteristic %d, want 1", chi)
+	}
+}

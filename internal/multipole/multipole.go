@@ -1,0 +1,382 @@
+// Package multipole implements truncated multipole and local expansions of
+// the 3-D Laplace kernel Phi(x) = sum_i q_i/|x - x_i|, together with the six
+// classical operators:
+//
+//	P2M  particles            -> multipole expansion
+//	M2M  multipole            -> multipole about a new center (exact)
+//	M2P  multipole            -> potential/field at a point
+//	M2L  multipole            -> local expansion about a distant center
+//	L2L  local                -> local about a new center (exact)
+//	L2P  local                -> potential/field at a point
+//
+// Coefficient conventions follow internal/harmonics: with the Hobson
+// normalization the operators are plain convolutions of coefficient arrays
+// with regular/irregular harmonics of the shift vector:
+//
+//	M_n^m   = sum_i q_i conj(R_n^m(x_i - c))
+//	Phi(x)  = Re sum_{n,m} M_n^m S_n^m(x - c)                       (M2P)
+//	M'_n^m  = sum_{j,k} conj(R_j^k(c_old - c_new)) M_{n-j}^{m-k}     (M2M)
+//	L_j^k   = (-1)^j sum_{n,m} M_n^m S_{j+n}^{k+m}(z - c)            (M2L)
+//	L'_n^m  = sum_{j>=n,k} L_j^k conj(R_{j-n}^{k-m}(z_new - z_old))  (L2L)
+//	Phi(x)  = Re sum_{n,m} L_n^m conj(R_n^m(x - z))                  (L2P)
+//
+// The truncation error of a degree-p multipole interaction obeys Greengard &
+// Rokhlin's bound (Theorem 1 of the paper):
+//
+//	|Phi - Phi_p| <= A/(r-a) * (a/r)^{p+1},   A = sum_i |q_i|,
+//
+// exposed here as TruncationBound. Expansions additionally track A and the
+// cluster radius a so the treecode can apply the bound per interaction.
+package multipole
+
+import (
+	"math"
+	"math/cmplx"
+
+	"treecode/internal/harmonics"
+	"treecode/internal/vec"
+)
+
+// Expansion is a truncated multipole expansion about Center: the far-field
+// signature of a particle cluster.
+type Expansion struct {
+	Center vec.V3
+	Degree int          // truncation degree p
+	Coeff  []complex128 // triangular m>=0 storage, len harmonics.Len(Degree)
+
+	AbsCharge float64 // A = sum |q_i|, drives the error bound
+	Radius    float64 // radius a of the cluster about Center
+}
+
+// NewExpansion returns an empty degree-p expansion about center.
+func NewExpansion(center vec.V3, p int) *Expansion {
+	return &Expansion{Center: center, Degree: p, Coeff: make([]complex128, harmonics.Len(p))}
+}
+
+// Clear zeroes the coefficients and cluster statistics.
+func (e *Expansion) Clear() {
+	for i := range e.Coeff {
+		e.Coeff[i] = 0
+	}
+	e.AbsCharge = 0
+	e.Radius = 0
+}
+
+// AddParticle accumulates one charge into the expansion (P2M) and updates
+// the cluster statistics.
+func (e *Expansion) AddParticle(pos vec.V3, q float64) {
+	e.AddParticleAt(pos, q, nil)
+}
+
+// AddParticleAt is AddParticle with a caller-provided scratch buffer of
+// length >= harmonics.Len(e.Degree) (nil allocates).
+func (e *Expansion) AddParticleAt(pos vec.V3, q float64, buf []complex128) {
+	d := pos.Sub(e.Center)
+	r := harmonics.Regular(buf, d, e.Degree)
+	qc := complex(q, 0)
+	for i, c := range r {
+		e.Coeff[i] += qc * cmplx.Conj(c)
+	}
+	e.AbsCharge += math.Abs(q)
+	if rad := d.Norm(); rad > e.Radius {
+		e.Radius = rad
+	}
+}
+
+// P2M builds a degree-p expansion about center from positions and charges.
+func P2M(pos []vec.V3, q []float64, center vec.V3, p int) *Expansion {
+	e := NewExpansion(center, p)
+	buf := make([]complex128, harmonics.Len(p))
+	for i, x := range pos {
+		e.AddParticleAt(x, q[i], buf)
+	}
+	return e
+}
+
+// Translate shifts the expansion to a new center (M2M), producing a degree
+// pOut expansion. M2M is exact when pOut <= e.Degree: the translated
+// coefficients equal those of a direct P2M about the new center.
+func (e *Expansion) Translate(newCenter vec.V3, pOut int) *Expansion {
+	out := NewExpansion(newCenter, pOut)
+	out.AccumulateTranslated(e)
+	return out
+}
+
+// AccumulateTranslated adds src, re-centered onto e.Center, into e (the
+// M2M accumulation of the upward pass). The result is exact for the degrees
+// e keeps as long as src.Degree >= e.Degree. Cluster statistics are merged:
+// charges add, and the radius becomes an upper bound covering both clusters.
+func (e *Expansion) AccumulateTranslated(src *Expansion) {
+	t := src.Center.Sub(e.Center)
+	rt := harmonics.Regular(nil, t, e.Degree)
+	for n := 0; n <= e.Degree; n++ {
+		for m := 0; m <= n; m++ {
+			var sum complex128
+			for j := 0; j <= n; j++ {
+				for k := -j; k <= j; k++ {
+					mk := m - k
+					if mk > n-j || -mk > n-j {
+						continue
+					}
+					sum += cmplx.Conj(harmonics.Get(rt, e.Degree, j, k)) *
+						harmonics.Get(src.Coeff, src.Degree, n-j, mk)
+				}
+			}
+			e.Coeff[harmonics.Idx(n, m)] += sum
+		}
+	}
+	e.AbsCharge += src.AbsCharge
+	if r := src.Radius + t.Norm(); r > e.Radius {
+		e.Radius = r
+	}
+}
+
+// EvaluatePrefix is Evaluate with a caller-provided scratch buffer of
+// length >= harmonics.Len(p) (nil allocates). Useful in hot loops.
+func (e *Expansion) EvaluatePrefix(x vec.V3, p int, buf []complex128) float64 {
+	return e.evaluateBuf(x, p, buf)
+}
+
+// BoundAt returns the Theorem 1 truncation bound for evaluating this
+// expansion at point x with degree p.
+func (e *Expansion) BoundAt(x vec.V3, p int) float64 {
+	return TruncationBound(e.AbsCharge, e.Radius, x.Dist(e.Center), p)
+}
+
+// AddScaled accumulates s * src into e. Both expansions must share the same
+// center; degrees may differ (missing higher-degree terms are treated as 0).
+func (e *Expansion) AddScaled(src *Expansion, s float64) {
+	sc := complex(s, 0)
+	n := len(src.Coeff)
+	if len(e.Coeff) < n {
+		n = len(e.Coeff)
+	}
+	for i := 0; i < n; i++ {
+		e.Coeff[i] += sc * src.Coeff[i]
+	}
+	e.AbsCharge += math.Abs(s) * src.AbsCharge
+	if src.Radius > e.Radius {
+		e.Radius = src.Radius
+	}
+}
+
+// Evaluate computes the potential at x from the expansion (M2P), using terms
+// up to degree p (p > e.Degree is clamped). x must be outside the cluster
+// radius for the result to be meaningful.
+func (e *Expansion) Evaluate(x vec.V3, p int) float64 {
+	return e.evaluateBuf(x, p, nil)
+}
+
+func (e *Expansion) evaluateBuf(x vec.V3, p int, buf []complex128) float64 {
+	if p > e.Degree {
+		p = e.Degree
+	}
+	s := harmonics.Irregular(buf, x.Sub(e.Center), p)
+	var phi float64
+	for n := 0; n <= p; n++ {
+		base := harmonics.Idx(n, 0)
+		phi += real(e.Coeff[base] * s[base])
+		for m := 1; m <= n; m++ {
+			phi += 2 * real(e.Coeff[base+m]*s[base+m])
+		}
+	}
+	return phi
+}
+
+// EvaluateField computes the potential and its gradient at x (M2P with
+// forces), using terms up to degree p. The gradient uses the exact ladder
+// identities, so it is the true gradient of the truncated series.
+func (e *Expansion) EvaluateField(x vec.V3, p int) (phi float64, grad vec.V3) {
+	return e.EvaluateFieldBuf(x, p, nil)
+}
+
+// EvaluateFieldBuf is EvaluateField with a caller-provided scratch buffer of
+// length >= harmonics.Len(p+1) (nil allocates).
+func (e *Expansion) EvaluateFieldBuf(x vec.V3, p int, buf []complex128) (phi float64, grad vec.V3) {
+	if p > e.Degree {
+		p = e.Degree
+	}
+	// Need S up to degree p+1 for the derivatives.
+	s := harmonics.Irregular(buf, x.Sub(e.Center), p+1)
+	var gx, gy, gz complex128
+	for n := 0; n <= p; n++ {
+		for m := -n; m <= n; m++ {
+			c := harmonics.Get(e.Coeff, e.Degree, n, m)
+			if m >= 0 {
+				if m == 0 {
+					phi += real(c * s[harmonics.Idx(n, 0)])
+				} else {
+					phi += 2 * real(c*s[harmonics.Idx(n, m)])
+				}
+			}
+			// dS/dx = (S_{n+1}^{m+1} - S_{n+1}^{m-1})/2
+			// dS/dy = (S_{n+1}^{m+1} + S_{n+1}^{m-1})/(2i)
+			// dS/dz = -S_{n+1}^m
+			sp := harmonics.Get(s, p+1, n+1, m+1)
+			sm := harmonics.Get(s, p+1, n+1, m-1)
+			gx += c * (sp - sm) / 2
+			gy += c * (sp + sm) / complex(0, 2)
+			gz += c * -harmonics.Get(s, p+1, n+1, m)
+		}
+	}
+	return phi, vec.V3{X: real(gx), Y: real(gy), Z: real(gz)}
+}
+
+// TruncationBound returns the Greengard-Rokhlin bound on the absolute error
+// of evaluating a degree-p expansion of a cluster with absolute charge a
+// total A and radius a, at distance r > a from the center (Theorem 1).
+func TruncationBound(A, a, r float64, p int) float64 {
+	if r <= a {
+		return math.Inf(1)
+	}
+	return A / (r - a) * math.Pow(a/r, float64(p+1))
+}
+
+// Bound returns TruncationBound for this expansion at distance r.
+func (e *Expansion) Bound(r float64) float64 {
+	return TruncationBound(e.AbsCharge, e.Radius, r, e.Degree)
+}
+
+// Local is a truncated local (Taylor-like) expansion about Center: the
+// near-field summary of distant sources, valid inside the cluster-free ball
+// around Center.
+type Local struct {
+	Center vec.V3
+	Degree int
+	Coeff  []complex128 // triangular m>=0 storage
+}
+
+// NewLocal returns an empty degree-p local expansion about center.
+func NewLocal(center vec.V3, p int) *Local {
+	return &Local{Center: center, Degree: p, Coeff: make([]complex128, harmonics.Len(p))}
+}
+
+// Clear zeroes the coefficients.
+func (l *Local) Clear() {
+	for i := range l.Coeff {
+		l.Coeff[i] = 0
+	}
+}
+
+// M2L converts a multipole expansion into a degree-pOut local expansion
+// about center. The two centers must be well separated: |center-e.Center|
+// greater than the cluster radius plus the evaluation radius.
+func (e *Expansion) M2L(center vec.V3, pOut int) *Local {
+	l := NewLocal(center, pOut)
+	t := center.Sub(e.Center)
+	st := harmonics.Irregular(nil, t, pOut+e.Degree)
+	for j := 0; j <= pOut; j++ {
+		sign := 1.0
+		if j%2 == 1 {
+			sign = -1
+		}
+		for k := 0; k <= j; k++ {
+			var sum complex128
+			for n := 0; n <= e.Degree; n++ {
+				for m := -n; m <= n; m++ {
+					sum += harmonics.Get(e.Coeff, e.Degree, n, m) *
+						harmonics.Get(st, pOut+e.Degree, j+n, k+m)
+				}
+			}
+			l.Coeff[harmonics.Idx(j, k)] = complex(sign, 0) * sum
+		}
+	}
+	return l
+}
+
+// AddP2L accumulates the local expansion of a single distant charge (P2L),
+// used by adaptive FMM variants for small far clusters.
+func (l *Local) AddP2L(pos vec.V3, q float64) {
+	// Phi(x) = q/|x - pos| = q/|u - s| with u = pos - center, s = x - center,
+	// |s| < |u|: = q sum conj(R(s)) S(u)  => L_j^k += q S_j^k(u).
+	u := pos.Sub(l.Center)
+	s := harmonics.Irregular(nil, u, l.Degree)
+	qc := complex(q, 0)
+	for i, c := range s {
+		l.Coeff[i] += qc * c
+	}
+}
+
+// Translate shifts the local expansion to a new center inside its domain of
+// validity (L2L). Exact for pOut <= l.Degree in the sense that the result
+// equals the truncation of the original series re-expanded.
+func (l *Local) Translate(newCenter vec.V3, pOut int) *Local {
+	out := NewLocal(newCenter, pOut)
+	w := newCenter.Sub(l.Center)
+	rw := harmonics.Regular(nil, w, l.Degree)
+	for n := 0; n <= pOut; n++ {
+		for m := 0; m <= n; m++ {
+			var sum complex128
+			for j := n; j <= l.Degree; j++ {
+				for k := -j; k <= j; k++ {
+					km := k - m
+					if km > j-n || -km > j-n {
+						continue
+					}
+					sum += harmonics.Get(l.Coeff, l.Degree, j, k) *
+						cmplx.Conj(harmonics.Get(rw, l.Degree, j-n, km))
+				}
+			}
+			out.Coeff[harmonics.Idx(n, m)] = sum
+		}
+	}
+	return out
+}
+
+// Add accumulates src into l. Centers must match; degrees may differ.
+func (l *Local) Add(src *Local) {
+	n := len(src.Coeff)
+	if len(l.Coeff) < n {
+		n = len(l.Coeff)
+	}
+	for i := 0; i < n; i++ {
+		l.Coeff[i] += src.Coeff[i]
+	}
+}
+
+// Evaluate computes the potential at x from the local expansion (L2P).
+func (l *Local) Evaluate(x vec.V3) float64 {
+	r := harmonics.Regular(nil, x.Sub(l.Center), l.Degree)
+	var phi float64
+	for n := 0; n <= l.Degree; n++ {
+		base := harmonics.Idx(n, 0)
+		phi += real(l.Coeff[base] * cmplx.Conj(r[base]))
+		for m := 1; m <= n; m++ {
+			phi += 2 * real(l.Coeff[base+m]*cmplx.Conj(r[base+m]))
+		}
+	}
+	return phi
+}
+
+// EvaluateField computes the potential and gradient at x (L2P with forces).
+func (l *Local) EvaluateField(x vec.V3) (phi float64, grad vec.V3) {
+	p := l.Degree
+	r := harmonics.Regular(nil, x.Sub(l.Center), p)
+	var gx, gy, gz complex128
+	for n := 0; n <= p; n++ {
+		for m := -n; m <= n; m++ {
+			c := harmonics.Get(l.Coeff, p, n, m)
+			if m >= 0 {
+				if m == 0 {
+					phi += real(c * cmplx.Conj(r[harmonics.Idx(n, 0)]))
+				} else {
+					phi += 2 * real(c*cmplx.Conj(r[harmonics.Idx(n, m)]))
+				}
+			}
+			// d(conj R)/d* = conj(dR/d*):
+			// dR/dx = (R_{n-1}^{m+1} - R_{n-1}^{m-1})/2
+			// dR/dy = (R_{n-1}^{m+1} + R_{n-1}^{m-1})/(2i)
+			// dR/dz = R_{n-1}^m
+			rp := harmonics.Get(r, p, n-1, m+1)
+			rm := harmonics.Get(r, p, n-1, m-1)
+			gx += c * cmplx.Conj((rp-rm)/2)
+			gy += c * cmplx.Conj((rp+rm)/complex(0, 2))
+			gz += c * cmplx.Conj(harmonics.Get(r, p, n-1, m))
+		}
+	}
+	return phi, vec.V3{X: real(gx), Y: real(gy), Z: real(gz)}
+}
+
+// Terms returns the number of series terms in a degree-p expansion, the
+// paper's serial cost metric: (p+1)^2 (full -n..n index range).
+func Terms(p int) int64 { return int64(p+1) * int64(p+1) }

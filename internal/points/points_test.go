@@ -1,0 +1,146 @@
+package points
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	for _, d := range AllDistributions() {
+		s, err := Generate(d, 500, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if s.N() != 500 {
+			t.Errorf("%s: n = %d", d, s.N())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Gaussian, 200, 7)
+	b, _ := Generate(Gaussian, 200, 7)
+	for i := range a.Particles {
+		if a.Particles[i] != b.Particles[i] {
+			t.Fatalf("particle %d differs between identical seeds", i)
+		}
+	}
+	c, _ := Generate(Gaussian, 200, 8)
+	same := true
+	for i := range a.Particles {
+		if a.Particles[i].Pos != c.Particles[i].Pos {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical positions")
+	}
+}
+
+func TestGenerateInUnitCube(t *testing.T) {
+	for _, d := range AllDistributions() {
+		s, err := Generate(d, 2000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range s.Particles {
+			if p.Pos.X < 0 || p.Pos.X > 1 || p.Pos.Y < 0 || p.Pos.Y > 1 || p.Pos.Z < 0 || p.Pos.Z > 1 {
+				t.Fatalf("%s: particle escapes unit cube: %v", d, p.Pos)
+			}
+		}
+	}
+}
+
+func TestChargeNormalization(t *testing.T) {
+	s, _ := GenerateCharged(Uniform, 1000, 1, 5.0, false)
+	if math.Abs(s.TotalCharge()-5) > 1e-9 {
+		t.Errorf("total charge = %v, want 5", s.TotalCharge())
+	}
+	if math.Abs(s.TotalAbsCharge()-5) > 1e-9 {
+		t.Errorf("total abs charge = %v, want 5", s.TotalAbsCharge())
+	}
+	m, _ := GenerateCharged(Uniform, 1000, 1, 5.0, true)
+	if math.Abs(m.TotalCharge()) > 1e-9 {
+		t.Errorf("mixed-sign total charge = %v, want 0", m.TotalCharge())
+	}
+	if math.Abs(m.TotalAbsCharge()-5) > 1e-9 {
+		t.Errorf("mixed-sign abs charge = %v, want 5", m.TotalAbsCharge())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Uniform, 0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := Generate(Distribution("bogus"), 10, 1); err == nil {
+		t.Error("unknown distribution should fail")
+	}
+}
+
+func TestGaussianIsConcentrated(t *testing.T) {
+	s, _ := Generate(Gaussian, 5000, 3)
+	// Nearly all mass should be within 4 sigma = 0.48 of the center.
+	var far int
+	for _, p := range s.Particles {
+		dx, dy, dz := p.Pos.X-0.5, p.Pos.Y-0.5, p.Pos.Z-0.5
+		if math.Sqrt(dx*dx+dy*dy+dz*dz) > 0.48 {
+			far++
+		}
+	}
+	if far > 50 {
+		t.Errorf("too many far particles for a Gaussian: %d", far)
+	}
+}
+
+func TestGridIsRegular(t *testing.T) {
+	s, _ := Generate(Grid, 27, 1)
+	if s.N() != 27 {
+		t.Fatalf("n = %d", s.N())
+	}
+	// All coordinates should be in {1/6, 3/6, 5/6}.
+	ok := map[float64]bool{1.0 / 6: true, 0.5: true, 5.0 / 6: true}
+	for _, p := range s.Particles {
+		for _, c := range []float64{p.Pos.X, p.Pos.Y, p.Pos.Z} {
+			found := false
+			for k := range ok {
+				if math.Abs(c-k) < 1e-12 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("unexpected grid coordinate %v", c)
+			}
+		}
+	}
+}
+
+func TestShellRadius(t *testing.T) {
+	s, _ := Generate(Shell, 1000, 5)
+	for _, p := range s.Particles {
+		dx, dy, dz := p.Pos.X-0.5, p.Pos.Y-0.5, p.Pos.Z-0.5
+		r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if math.Abs(r-0.5) > 1e-12 {
+			t.Fatalf("shell point at radius %v", r)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	s, _ := Generate(Uniform, 50, 9)
+	c := s.Clone()
+	c.Particles[0].Charge = 99
+	if s.Particles[0].Charge == 99 {
+		t.Fatal("Clone is not a deep copy")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s, _ := Generate(Uniform, 500, 13)
+	b := s.Bounds()
+	for _, p := range s.Particles {
+		if !b.Contains(p.Pos) {
+			t.Fatalf("bounds do not contain %v", p.Pos)
+		}
+	}
+}

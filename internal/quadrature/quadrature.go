@@ -1,0 +1,103 @@
+// Package quadrature provides symmetric Gaussian quadrature rules on
+// triangles, used to discretize the single-layer boundary integral: the
+// paper places "a fixed number of Gauss-points inside each element" (six in
+// its experiments) and inserts them into the hierarchical domain
+// representation as point sources.
+package quadrature
+
+import (
+	"fmt"
+
+	"treecode/internal/vec"
+)
+
+// Point is one quadrature node in barycentric coordinates with its weight.
+// Weights sum to 1 over a rule; multiply by the triangle area to integrate.
+type Point struct {
+	L1, L2, L3 float64
+	W          float64
+}
+
+// Rule returns the symmetric Gauss rule with the given number of points.
+// Supported sizes: 1 (degree 1), 3 (degree 2), 4 (degree 3), 6 (degree 4),
+// 7 (degree 5), 12 (degree 6).
+func Rule(points int) ([]Point, error) {
+	switch points {
+	case 1:
+		return []Point{{1.0 / 3, 1.0 / 3, 1.0 / 3, 1}}, nil
+	case 3:
+		return orbit3(2.0/3, 1.0/3), nil
+	case 4:
+		r := []Point{{1.0 / 3, 1.0 / 3, 1.0 / 3, -27.0 / 48}}
+		return append(r, orbit3(0.6, 25.0/48)...), nil
+	case 6:
+		r := orbit3(1-2*0.445948490915965, 0.223381589678011)
+		return append(r, orbit3(1-2*0.091576213509771, 0.109951743655322)...), nil
+	case 7:
+		r := []Point{{1.0 / 3, 1.0 / 3, 1.0 / 3, 0.225}}
+		r = append(r, orbit3(1-2*0.470142064105115, 0.132394152788506)...)
+		return append(r, orbit3(1-2*0.101286507323456, 0.125939180544827)...), nil
+	case 12:
+		r := orbit3(1-2*0.249286745170910, 0.116786275726379)
+		r = append(r, orbit3(1-2*0.063089014491502, 0.050844906370207)...)
+		return append(r, orbit6(0.310352451033785, 0.636502499121399, 0.082851075618374)...), nil
+	default:
+		return nil, fmt.Errorf("quadrature: no %d-point triangle rule (have 1,3,4,6,7,12)", points)
+	}
+}
+
+// Degree returns the polynomial degree the rule integrates exactly.
+func Degree(points int) int {
+	switch points {
+	case 1:
+		return 1
+	case 3:
+		return 2
+	case 4:
+		return 3
+	case 6:
+		return 4
+	case 7:
+		return 5
+	case 12:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// orbit3 returns the three cyclic permutations of (a, b, b) with a+2b = 1.
+func orbit3(a, w float64) []Point {
+	b := (1 - a) / 2
+	return []Point{
+		{a, b, b, w},
+		{b, a, b, w},
+		{b, b, a, w},
+	}
+}
+
+// orbit6 returns the six permutations of (a, b, c) with c = 1-a-b.
+func orbit6(a, b, w float64) []Point {
+	c := 1 - a - b
+	return []Point{
+		{a, b, c, w}, {a, c, b, w},
+		{b, a, c, w}, {b, c, a, w},
+		{c, a, b, w}, {c, b, a, w},
+	}
+}
+
+// Map converts a barycentric point to Cartesian coordinates on the triangle
+// (v1, v2, v3).
+func (p Point) Map(v1, v2, v3 vec.V3) vec.V3 {
+	return v1.Scale(p.L1).Add(v2.Scale(p.L2)).Add(v3.Scale(p.L3))
+}
+
+// Integrate approximates the integral of f over the triangle (v1, v2, v3)
+// with area already factored in.
+func Integrate(rule []Point, v1, v2, v3 vec.V3, area float64, f func(vec.V3) float64) float64 {
+	var s float64
+	for _, p := range rule {
+		s += p.W * f(p.Map(v1, v2, v3))
+	}
+	return s * area
+}

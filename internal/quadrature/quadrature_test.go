@@ -1,0 +1,124 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+
+	"treecode/internal/vec"
+)
+
+func TestWeightsSumToOne(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 6, 7, 12} {
+		r, err := Rule(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r) != n {
+			t.Fatalf("rule %d has %d points", n, len(r))
+		}
+		var w float64
+		for _, p := range r {
+			w += p.W
+			if math.Abs(p.L1+p.L2+p.L3-1) > 1e-12 {
+				t.Fatalf("rule %d: barycentric coords sum to %v", n, p.L1+p.L2+p.L3)
+			}
+		}
+		if math.Abs(w-1) > 1e-12 {
+			t.Fatalf("rule %d weights sum to %v", n, w)
+		}
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	if _, err := Rule(5); err == nil {
+		t.Error("5-point rule should not exist")
+	}
+	if Degree(5) != 0 {
+		t.Error("Degree of unknown rule should be 0")
+	}
+}
+
+// Exactness: a rule of degree d integrates all monomials x^a y^b with
+// a+b <= d exactly on a reference triangle.
+func TestPolynomialExactness(t *testing.T) {
+	v1 := vec.V3{X: 0, Y: 0}
+	v2 := vec.V3{X: 1, Y: 0}
+	v3 := vec.V3{X: 0, Y: 1}
+	// Exact integral of x^a y^b over the unit right triangle: a! b! / (a+b+2)!.
+	exact := func(a, b int) float64 {
+		f := func(n int) float64 {
+			r := 1.0
+			for i := 2; i <= n; i++ {
+				r *= float64(i)
+			}
+			return r
+		}
+		return f(a) * f(b) / f(a+b+2)
+	}
+	for _, n := range []int{1, 3, 4, 6, 7, 12} {
+		r, _ := Rule(n)
+		d := Degree(n)
+		for a := 0; a <= d; a++ {
+			for b := 0; a+b <= d; b++ {
+				got := Integrate(r, v1, v2, v3, 0.5, func(p vec.V3) float64 {
+					return math.Pow(p.X, float64(a)) * math.Pow(p.Y, float64(b))
+				})
+				want := exact(a, b)
+				if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+					t.Fatalf("rule %d (degree %d) fails on x^%d y^%d: %v vs %v",
+						n, d, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPointsInsideTriangle(t *testing.T) {
+	for _, n := range []int{1, 3, 6, 7, 12} {
+		r, _ := Rule(n)
+		for _, p := range r {
+			if p.L1 < 0 || p.L2 < 0 || p.L3 < 0 {
+				t.Fatalf("rule %d has a point outside the triangle: %+v", n, p)
+			}
+			if p.L1 == 0 || p.L2 == 0 || p.L3 == 0 {
+				t.Fatalf("rule %d has a boundary point (would collide with vertices): %+v", n, p)
+			}
+		}
+	}
+}
+
+func TestMapCorners(t *testing.T) {
+	v1 := vec.V3{X: 1, Y: 2, Z: 3}
+	v2 := vec.V3{X: -1, Y: 0, Z: 1}
+	v3 := vec.V3{X: 0, Y: 5, Z: -2}
+	if (Point{1, 0, 0, 0}).Map(v1, v2, v3) != v1 {
+		t.Error("L1=1 should map to v1")
+	}
+	if (Point{0, 1, 0, 0}).Map(v1, v2, v3) != v2 {
+		t.Error("L2=1 should map to v2")
+	}
+	centroid := (Point{1.0 / 3, 1.0 / 3, 1.0 / 3, 0}).Map(v1, v2, v3)
+	want := v1.Add(v2).Add(v3).Scale(1.0 / 3)
+	if centroid.Dist(want) > 1e-14 {
+		t.Error("centroid map wrong")
+	}
+}
+
+// Integrating a smooth non-polynomial: higher rules converge faster.
+func TestSmoothConvergence(t *testing.T) {
+	v1 := vec.V3{}
+	v2 := vec.V3{X: 1}
+	v3 := vec.V3{Y: 1}
+	f := func(p vec.V3) float64 { return math.Exp(p.X + 2*p.Y) }
+	r12, _ := Rule(12)
+	ref := Integrate(r12, v1, v2, v3, 0.5, f)
+	prevErr := math.Inf(1)
+	for _, n := range []int{1, 3, 6} {
+		r, _ := Rule(n)
+		err := math.Abs(Integrate(r, v1, v2, v3, 0.5, f) - ref)
+		if err > prevErr*1.01 {
+			t.Fatalf("rule %d error %v did not improve on %v", n, err, prevErr)
+		}
+		prevErr = err
+	}
+}

@@ -1,0 +1,284 @@
+// Package rotation implements rotations of solid-harmonic expansions and
+// the rotation-accelerated ("point-and-shoot") translation operators: a
+// translation along an arbitrary vector t is performed as
+//
+//	rotate (align t with +z)  ->  axial shift  ->  rotate back,
+//
+// reducing the O(p^4) coefficient convolutions of M2M/M2L/L2L to O(p^3):
+// each rotation is a dense (2n+1)x(2n+1) matrix per degree (Wigner d), and
+// the axial shift couples only equal orders m because solid harmonics of a
+// z-aligned argument vanish for m != 0:
+//
+//	R_j^k(t zhat) = delta_{k0} t^j/j!,   S_j^k(t zhat) = delta_{k0} j!/t^{j+1}.
+//
+// Our regular solid harmonics are Schmidt harmonics scaled by
+// N_n^m = 1/sqrt((n-m)!(n+m)!) (and the irregular ones by 1/N_n^m), and
+// Schmidt harmonics rotate with the same Wigner-d matrices as orthonormal
+// spherical harmonics; the rotation matrix in our basis is therefore
+// d^n_{m,m'}(beta) scaled by N-ratios whose direction depends on the
+// coefficient kind. Multipole coefficients (sums of conj(R)) and local
+// coefficients (sums of S) also pick up opposite phases under z-rotations,
+// so every entry point takes the coefficient Kind.
+package rotation
+
+import (
+	"math"
+
+	"treecode/internal/harmonics"
+	"treecode/internal/vec"
+)
+
+// Kind distinguishes the two coefficient types of the library.
+type Kind int
+
+const (
+	// Multipole coefficients: M_n^m = sum_i q_i conj(R_n^m(y_i)).
+	Multipole Kind = iota
+	// Local coefficients: L_j^k = sum_i q_i S_j^k(u_i).
+	Local
+)
+
+// maxFact supports degrees up to ~45 (factorials to 90! fit in float64).
+const maxFact = 91
+
+var fact [maxFact]float64
+
+func init() {
+	fact[0] = 1
+	for i := 1; i < maxFact; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+}
+
+// SmallD returns the Wigner small-d matrix d^n(beta) as a dense
+// (2n+1)x(2n+1) slice indexed [m+n][mp+n], computed by Wigner's explicit
+// sum. Accurate to ~1e-10 for n <= 30.
+func SmallD(n int, beta float64) [][]float64 {
+	size := 2*n + 1
+	d := make([][]float64, size)
+	c, s := math.Cos(beta/2), math.Sin(beta/2)
+	for mi := 0; mi < size; mi++ {
+		d[mi] = make([]float64, size)
+		for mpi := 0; mpi < size; mpi++ {
+			d[mi][mpi] = smallDElem(n, mi-n, mpi-n, c, s)
+		}
+	}
+	return d
+}
+
+// smallDElem computes d^n_{m,mp}(beta) with c = cos(beta/2), s = sin(beta/2):
+//
+//	d^n_{m,mp} = sqrt((n+m)!(n-m)!(n+mp)!(n-mp)!) *
+//	  sum_k (-1)^{mp-m+k} c^{2n+m-mp-2k} s^{mp-m+2k} /
+//	        ((n+m-k)! k! (n-mp-k)! (mp-m+k)!)
+func smallDElem(n, m, mp int, c, s float64) float64 {
+	pre := math.Sqrt(fact[n+m] * fact[n-m] * fact[n+mp] * fact[n-mp])
+	kLo := 0
+	if m-mp > kLo {
+		kLo = m - mp
+	}
+	kHi := n + m
+	if h := n - mp; h < kHi {
+		kHi = h
+	}
+	var sum float64
+	for k := kLo; k <= kHi; k++ {
+		num := ipow(c, 2*n+m-mp-2*k) * ipow(s, mp-m+2*k)
+		den := fact[n+m-k] * fact[k] * fact[n-mp-k] * fact[mp-m+k]
+		t := num / den
+		if (mp-m+k)%2 != 0 {
+			t = -t
+		}
+		sum += t
+	}
+	return pre * sum
+}
+
+func ipow(x float64, k int) float64 {
+	r := 1.0
+	for ; k > 0; k >>= 1 {
+		if k&1 == 1 {
+			r *= x
+		}
+		x *= x
+	}
+	return r
+}
+
+// Plan holds the precomputed y-rotation matrices for one angle beta, for
+// both coefficient kinds and both directions, up to degree P.
+type Plan struct {
+	P    int
+	beta float64
+	// u[kind][dir][n][m+n][mp+n], dir 0 = beta, 1 = -beta.
+	u [2][2][][][]float64
+}
+
+// NewPlan precomputes rotation matrices up to degree p for angle beta.
+func NewPlan(p int, beta float64) *Plan {
+	pl := &Plan{P: p, beta: beta}
+	// Note the sign: with Wigner's sum as written in smallDElem, the matrix
+	// that maps coefficients of sources y to coefficients of sources
+	// Ry(beta)y is the one evaluated at -beta (verified by the rotation
+	// property tests).
+	for dir, b := range [2]float64{-beta, beta} {
+		dm := make([][][]float64, p+1)
+		for n := 0; n <= p; n++ {
+			dm[n] = SmallD(n, b)
+		}
+		for kind := 0; kind < 2; kind++ {
+			mats := make([][][]float64, p+1)
+			for n := 0; n <= p; n++ {
+				size := 2*n + 1
+				mat := make([][]float64, size)
+				for mi := 0; mi < size; mi++ {
+					mat[mi] = make([]float64, size)
+					m := mi - n
+					for mpi := 0; mpi < size; mpi++ {
+						mp := mpi - n
+						// Regular solid harmonics carry N_n^m, irregular
+						// 1/N_n^m; the coefficient matrices scale inversely.
+						nm := math.Sqrt(fact[n-m] * fact[n+m])
+						nmp := math.Sqrt(fact[n-mp] * fact[n+mp])
+						scale := nmp / nm // Multipole kind
+						if Kind(kind) == Local {
+							scale = nm / nmp
+						}
+						mat[mi][mpi] = scale * dm[n][mi][mpi]
+					}
+				}
+				mats[n] = mat
+			}
+			pl.u[kind][dir] = mats
+		}
+	}
+	return pl
+}
+
+// RotateY transforms coefficients (triangular storage, degree p <= Plan.P)
+// in place so that they describe the same field built from source points
+// rotated by Ry(beta) (inverse=false) or Ry(-beta) (inverse=true).
+func (pl *Plan) RotateY(coeffs []complex128, p int, kind Kind, inverse bool) {
+	dir := 0
+	if inverse {
+		dir = 1
+	}
+	u := pl.u[kind][dir]
+	buf := make([]complex128, 2*p+1)
+	for n := 1; n <= p && n <= pl.P; n++ {
+		for m := -n; m <= n; m++ {
+			buf[m+n] = harmonics.Get(coeffs, p, n, m)
+		}
+		un := u[n]
+		for m := 0; m <= n; m++ {
+			var sum complex128
+			row := un[m+n]
+			for mp := -n; mp <= n; mp++ {
+				sum += complex(row[mp+n], 0) * buf[mp+n]
+			}
+			coeffs[harmonics.Idx(n, m)] = sum
+		}
+	}
+}
+
+// RotateZ transforms coefficients in place so that they describe the same
+// field built from source points rotated by Rz(psi): multipole coefficients
+// pick up e^{-im psi} (they are conjugated sums), local ones e^{+im psi}.
+func RotateZ(coeffs []complex128, p int, psi float64, kind Kind) {
+	sign := -1.0
+	if kind == Local {
+		sign = 1
+	}
+	for m := 1; m <= p; m++ {
+		sn, cs := math.Sincos(sign * float64(m) * psi)
+		ph := complex(cs, sn)
+		for n := m; n <= p; n++ {
+			coeffs[harmonics.Idx(n, m)] *= ph
+		}
+	}
+}
+
+// Angles returns the spherical coordinates of t. The rotation aligning t
+// with +z is "rotate sources by Rz(-phi), then by Ry(-theta)"; its inverse
+// is "Ry(theta) then Rz(phi)".
+func Angles(t vec.V3) (r, theta, phi float64) { return t.Spherical() }
+
+// AxialM2M shifts multipole coefficients along +z: the result describes
+// sources displaced by +t*zhat (i.e. the expansion center moved by -t*zhat):
+//
+//	M'_n^m = sum_{j=0}^{n-|m|} (t^j/j!) M_{n-j}^m.
+//
+// dst (degree pDst) must not alias src (degree pSrc).
+func AxialM2M(dst []complex128, pDst int, src []complex128, pSrc int, t float64) {
+	tp := make([]float64, pDst+1)
+	tp[0] = 1
+	for j := 1; j <= pDst; j++ {
+		tp[j] = tp[j-1] * t / float64(j)
+	}
+	for n := 0; n <= pDst; n++ {
+		for m := 0; m <= n; m++ {
+			var sum complex128
+			for j := 0; j+m <= n; j++ {
+				if n-j > pSrc {
+					continue
+				}
+				sum += complex(tp[j], 0) * src[harmonics.Idx(n-j, m)]
+			}
+			dst[harmonics.Idx(n, m)] = sum
+		}
+	}
+}
+
+// AxialM2L converts multipole coefficients about the origin into local
+// coefficients about t*zhat (t > source radius):
+//
+//	L_j^k = (-1)^j sum_n M_n^{-k} (j+n)!/t^{j+n+1}.
+//
+// dst (degree pDst local) must not alias src (degree pSrc multipole).
+func AxialM2L(dst []complex128, pDst int, src []complex128, pSrc int, t float64) {
+	maxU := pDst + pSrc
+	inv := make([]float64, maxU+1)
+	inv[0] = 1 / t
+	for u := 1; u <= maxU; u++ {
+		inv[u] = inv[u-1] * float64(u) / t
+	}
+	for j := 0; j <= pDst; j++ {
+		sign := 1.0
+		if j%2 == 1 {
+			sign = -1
+		}
+		for k := 0; k <= j; k++ {
+			var sum complex128
+			for n := k; n <= pSrc; n++ {
+				sum += harmonics.Get(src, pSrc, n, -k) * complex(inv[j+n], 0)
+			}
+			dst[harmonics.Idx(j, k)] = complex(sign, 0) * sum
+		}
+	}
+}
+
+// AxialL2L shifts local coefficients to a new center at w*zhat relative to
+// the old one:
+//
+//	L'_n^m = sum_{j>=n} L_j^m w^{j-n}/(j-n)!.
+//
+// dst (degree pDst) must not alias src (degree pSrc).
+func AxialL2L(dst []complex128, pDst int, src []complex128, pSrc int, w float64) {
+	wp := make([]float64, pSrc+1)
+	wp[0] = 1
+	for j := 1; j <= pSrc; j++ {
+		wp[j] = wp[j-1] * w / float64(j)
+	}
+	for n := 0; n <= pDst; n++ {
+		for m := 0; m <= n; m++ {
+			var sum complex128
+			for j := n; j <= pSrc; j++ {
+				if m > j {
+					continue
+				}
+				sum += src[harmonics.Idx(j, m)] * complex(wp[j-n], 0)
+			}
+			dst[harmonics.Idx(n, m)] = sum
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package rotation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"treecode/internal/harmonics"
+	"treecode/internal/vec"
+)
+
+func ry(v vec.V3, b float64) vec.V3 {
+	s, c := math.Sin(b), math.Cos(b)
+	return vec.V3{X: v.X*c + v.Z*s, Y: v.Y, Z: -v.X*s + v.Z*c}
+}
+
+func rz(v vec.V3, b float64) vec.V3 {
+	s, c := math.Sin(b), math.Cos(b)
+	return vec.V3{X: v.X*c - v.Y*s, Y: v.X*s + v.Y*c, Z: v.Z}
+}
+
+func randPoints(rng *rand.Rand, n int) ([]vec.V3, []float64) {
+	pts := make([]vec.V3, n)
+	q := make([]float64, n)
+	for i := range pts {
+		pts[i] = vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		q[i] = rng.NormFloat64()
+	}
+	return pts, q
+}
+
+// buildM computes M_n^m = sum q conj(R_n^m(y)).
+func buildM(pts []vec.V3, q []float64, p int) []complex128 {
+	out := make([]complex128, harmonics.Len(p))
+	for i, y := range pts {
+		r := harmonics.Regular(nil, y, p)
+		for k, c := range r {
+			out[k] += complex(q[i], 0) * complex(real(c), -imag(c))
+		}
+	}
+	return out
+}
+
+// buildL computes L_j^k = sum q S_j^k(u) for far points u.
+func buildL(pts []vec.V3, q []float64, p int) []complex128 {
+	out := make([]complex128, harmonics.Len(p))
+	for i, u := range pts {
+		s := harmonics.Irregular(nil, u, p)
+		for k, c := range s {
+			out[k] += complex(q[i], 0) * c
+		}
+	}
+	return out
+}
+
+func coeffDist(a, b []complex128) float64 {
+	var e, n float64
+	for k := range a {
+		d := a[k] - b[k]
+		e += real(d)*real(d) + imag(d)*imag(d)
+		n += real(b[k])*real(b[k]) + imag(b[k])*imag(b[k])
+	}
+	return math.Sqrt(e / (1 + n))
+}
+
+func TestSmallDIdentityAtZero(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		d := SmallD(n, 0)
+		for i := range d {
+			for j := range d[i] {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(d[i][j]-want) > 1e-13 {
+					t.Fatalf("d^%d(0)[%d][%d] = %v", n, i, j, d[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSmallDOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 20; n += 3 {
+		beta := rng.Float64() * math.Pi
+		d := SmallD(n, beta)
+		size := 2*n + 1
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				var dot float64
+				for k := 0; k < size; k++ {
+					dot += d[i][k] * d[j][k]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					t.Fatalf("n=%d beta=%v: row orthogonality (%d,%d) = %v", n, beta, i, j, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestSmallDComposition(t *testing.T) {
+	// d(b1) d(b2) = d(b1+b2).
+	n := 6
+	b1, b2 := 0.4, 0.9
+	d1 := SmallD(n, b1)
+	d2 := SmallD(n, b2)
+	d12 := SmallD(n, b1+b2)
+	size := 2*n + 1
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			var s float64
+			for k := 0; k < size; k++ {
+				s += d1[i][k] * d2[k][j]
+			}
+			if math.Abs(s-d12[i][j]) > 1e-10 {
+				t.Fatalf("composition failed at (%d,%d): %v vs %v", i, j, s, d12[i][j])
+			}
+		}
+	}
+}
+
+func TestSmallDDegreeOne(t *testing.T) {
+	// Degree-1 closed form (rows/cols ordered m = -1, 0, 1): the matrix is
+	// orthogonal with d[0+1][0+1] = cos(beta) and corner entries
+	// (1 +- cos)/2 up to the convention's signs. Check the entries that are
+	// convention-independent.
+	beta := 0.6
+	d := SmallD(1, beta)
+	if math.Abs(d[1][1]-math.Cos(beta)) > 1e-14 {
+		t.Errorf("d^1_{00} = %v, want cos(beta)", d[1][1])
+	}
+	if math.Abs(d[2][2]-(1+math.Cos(beta))/2) > 1e-14 {
+		t.Errorf("d^1_{11} = %v, want (1+cos)/2", d[2][2])
+	}
+	if math.Abs(d[2][0]-(1-math.Cos(beta))/2) > 1e-14 {
+		t.Errorf("d^1_{1,-1} = %v, want (1-cos)/2", d[2][0])
+	}
+	if math.Abs(math.Abs(d[2][1])-math.Sin(beta)/math.Sqrt2) > 1e-14 {
+		t.Errorf("|d^1_{10}| = %v, want sin/sqrt2", math.Abs(d[2][1]))
+	}
+}
+
+func TestRotateYMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const p = 10
+	for trial := 0; trial < 10; trial++ {
+		beta := (rng.Float64()*2 - 1) * math.Pi
+		pts, q := randPoints(rng, 25)
+		pl := NewPlan(p, beta)
+
+		// Multipole kind.
+		m := buildM(pts, q, p)
+		rpts := make([]vec.V3, len(pts))
+		for i := range pts {
+			rpts[i] = ry(pts[i], beta)
+		}
+		want := buildM(rpts, q, p)
+		got := append([]complex128(nil), m...)
+		pl.RotateY(got, p, Multipole, false)
+		if d := coeffDist(got, want); d > 1e-11 {
+			t.Fatalf("Multipole RotateY mismatch: %v (beta=%v)", d, beta)
+		}
+		// Inverse undoes it.
+		pl.RotateY(got, p, Multipole, true)
+		if d := coeffDist(got, m); d > 1e-11 {
+			t.Fatalf("Multipole RotateY inverse mismatch: %v", d)
+		}
+
+		// Local kind (points pushed away from the center).
+		far := make([]vec.V3, len(pts))
+		rfar := make([]vec.V3, len(pts))
+		for i := range pts {
+			far[i] = pts[i].Add(vec.V3{X: 6, Y: -4, Z: 5})
+			rfar[i] = ry(far[i], beta)
+		}
+		l := buildL(far, q, p)
+		wantL := buildL(rfar, q, p)
+		gotL := append([]complex128(nil), l...)
+		pl.RotateY(gotL, p, Local, false)
+		if d := coeffDist(gotL, wantL); d > 1e-11 {
+			t.Fatalf("Local RotateY mismatch: %v", d)
+		}
+	}
+}
+
+func TestRotateZMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const p = 8
+	psi := 1.234
+	pts, q := randPoints(rng, 20)
+	m := buildM(pts, q, p)
+	rpts := make([]vec.V3, len(pts))
+	for i := range pts {
+		rpts[i] = rz(pts[i], psi)
+	}
+	want := buildM(rpts, q, p)
+	got := append([]complex128(nil), m...)
+	RotateZ(got, p, psi, Multipole)
+	if d := coeffDist(got, want); d > 1e-12 {
+		t.Fatalf("Multipole RotateZ mismatch: %v", d)
+	}
+
+	far := make([]vec.V3, len(pts))
+	rfar := make([]vec.V3, len(pts))
+	for i := range pts {
+		far[i] = pts[i].Add(vec.V3{X: 5, Y: 5, Z: 5})
+		rfar[i] = rz(far[i], psi)
+	}
+	l := buildL(far, q, p)
+	wantL := buildL(rfar, q, p)
+	gotL := append([]complex128(nil), l...)
+	RotateZ(gotL, p, psi, Local)
+	if d := coeffDist(gotL, wantL); d > 1e-12 {
+		t.Fatalf("Local RotateZ mismatch: %v", d)
+	}
+}
+
+func TestAxialM2MMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const p = 9
+	pts, q := randPoints(rng, 20)
+	m := buildM(pts, q, p)
+	shift := 1.7
+	shifted := make([]vec.V3, len(pts))
+	for i := range pts {
+		shifted[i] = pts[i].Add(vec.V3{Z: shift})
+	}
+	want := buildM(shifted, q, p)
+	got := make([]complex128, harmonics.Len(p))
+	AxialM2M(got, p, m, p, shift)
+	if d := coeffDist(got, want); d > 1e-11 {
+		t.Fatalf("AxialM2M mismatch: %v", d)
+	}
+}
+
+func TestAxialL2LMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const p = 9
+	pts, q := randPoints(rng, 20)
+	far := make([]vec.V3, len(pts))
+	for i := range pts {
+		far[i] = pts[i].Add(vec.V3{X: 8, Y: 2, Z: 3})
+	}
+	l := buildL(far, q, p)
+	// New center at w*zhat: far points relative to it are far - w*zhat.
+	w := 0.4
+	shifted := make([]vec.V3, len(pts))
+	for i := range pts {
+		shifted[i] = far[i].Sub(vec.V3{Z: w})
+	}
+	wantFull := buildL(shifted, q, p)
+	got := make([]complex128, harmonics.Len(p))
+	AxialL2L(got, p, l, p, w)
+	// L2L of a TRUNCATED series: compare against the exact rebuild only in
+	// the well-converged low degrees; high degrees differ by truncation.
+	const pCheck = 4
+	var e, nrm float64
+	for n := 0; n <= pCheck; n++ {
+		for m := 0; m <= n; m++ {
+			d := got[harmonics.Idx(n, m)] - wantFull[harmonics.Idx(n, m)]
+			e += real(d)*real(d) + imag(d)*imag(d)
+			c := wantFull[harmonics.Idx(n, m)]
+			nrm += real(c)*real(c) + imag(c)*imag(c)
+		}
+	}
+	if math.Sqrt(e/(1+nrm)) > 1e-4 {
+		t.Fatalf("AxialL2L low-degree mismatch: %v", math.Sqrt(e/(1+nrm)))
+	}
+}
+
+func TestAxialM2LMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const p = 14
+	pts := make([]vec.V3, 20)
+	q := make([]float64, 20)
+	for i := range pts {
+		pts[i] = vec.V3{X: 0.3 * rng.NormFloat64(), Y: 0.3 * rng.NormFloat64(), Z: 0.3 * rng.NormFloat64()}
+		q[i] = rng.NormFloat64()
+	}
+	m := buildM(pts, q, p)
+	shift := 5.0
+	// Local expansion about shift*zhat: u = y - shift*zhat.
+	rel := make([]vec.V3, len(pts))
+	for i := range pts {
+		rel[i] = pts[i].Sub(vec.V3{Z: shift})
+	}
+	want := buildL(rel, q, p)
+	got := make([]complex128, harmonics.Len(p))
+	AxialM2L(got, p, m, p, shift)
+	// Truncated conversion: compare low degrees.
+	var e, nrm float64
+	for n := 0; n <= 6; n++ {
+		for mm := 0; mm <= n; mm++ {
+			d := got[harmonics.Idx(n, mm)] - want[harmonics.Idx(n, mm)]
+			e += real(d)*real(d) + imag(d)*imag(d)
+			c := want[harmonics.Idx(n, mm)]
+			nrm += real(c)*real(c) + imag(c)*imag(c)
+		}
+	}
+	if math.Sqrt(e/(1+nrm)) > 1e-6 {
+		t.Fatalf("AxialM2L mismatch: %v", math.Sqrt(e/(1+nrm)))
+	}
+}
+
+func TestAngles(t *testing.T) {
+	r, th, ph := Angles(vec.V3{Z: 2})
+	if r != 2 || th != 0 || ph != 0 {
+		t.Errorf("Angles(z) = %v %v %v", r, th, ph)
+	}
+}
+
+func BenchmarkSmallDP10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SmallD(10, 0.7)
+	}
+}
+
+func BenchmarkPlanApplyP10(b *testing.B) {
+	pl := NewPlan(10, 0.7)
+	coeffs := make([]complex128, harmonics.Len(10))
+	for i := range coeffs {
+		coeffs[i] = complex(float64(i), -0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.RotateY(coeffs, 10, Multipole, false)
+	}
+}

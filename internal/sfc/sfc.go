@@ -1,0 +1,184 @@
+// Package sfc implements 3-D space-filling curve orders. The paper's parallel
+// formulation sorts particles in a proximity-preserving Peano-Hilbert order
+// and aggregates force computations for runs of w consecutive particles into
+// a single thread; this package provides that ordering (plus the simpler
+// Morton / Z-order for comparison and for octree-aware bucketing).
+package sfc
+
+import (
+	"sort"
+
+	"treecode/internal/geom"
+	"treecode/internal/vec"
+)
+
+// Bits is the per-axis resolution of the discretized keys. 3*Bits must fit
+// in 64 bits; 21 gives 63-bit keys and ~2e-7 spatial resolution on the unit
+// domain, far below any inter-particle distance we care about.
+const Bits = 21
+
+// maxCoord is the largest representable discretized coordinate.
+const maxCoord = (1 << Bits) - 1
+
+// Discretize maps p (inside box) to integer lattice coordinates in
+// [0, 2^Bits). Points on the upper boundary map to the last cell.
+func Discretize(p vec.V3, box geom.AABB) (x, y, z uint32) {
+	size := box.Size()
+	f := func(v, lo, ext float64) uint32 {
+		if ext <= 0 {
+			return 0
+		}
+		t := (v - lo) / ext
+		if t < 0 {
+			t = 0
+		}
+		c := uint64(t * (1 << Bits))
+		if c > maxCoord {
+			c = maxCoord
+		}
+		return uint32(c)
+	}
+	return f(p.X, box.Lo.X, size.X), f(p.Y, box.Lo.Y, size.Y), f(p.Z, box.Lo.Z, size.Z)
+}
+
+// spread3 spaces the low Bits bits of v three apart (Morton interleave).
+func spread3(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// MortonKey interleaves the bits of the lattice coordinates into a Z-order
+// key. Lower bits of x are the least significant.
+func MortonKey(x, y, z uint32) uint64 {
+	return spread3(x) | spread3(y)<<1 | spread3(z)<<2
+}
+
+// HilbertKey maps lattice coordinates to their index along the 3-D Hilbert
+// curve of order Bits, using Skilling's transpose algorithm ("Programming
+// the Hilbert curve", AIP Conf. Proc. 707, 2004).
+func HilbertKey(x, y, z uint32) uint64 {
+	var c [3]uint32
+	c[0], c[1], c[2] = x, y, z
+	axesToTranspose(&c, Bits)
+	// Interleave the transposed form: bit (Bits-1-j) of c[0], c[1], c[2]
+	// become successive bits of the key, most significant first.
+	var key uint64
+	for j := Bits - 1; j >= 0; j-- {
+		for i := 0; i < 3; i++ {
+			key = key<<1 | uint64((c[i]>>uint(j))&1)
+		}
+	}
+	return key
+}
+
+// HilbertDecode is the inverse of HilbertKey: it recovers the lattice
+// coordinates from a Hilbert index.
+func HilbertDecode(key uint64) (x, y, z uint32) {
+	var c [3]uint32
+	for j := 0; j < Bits; j++ {
+		for i := 0; i < 3; i++ {
+			shift := uint(3*(Bits-1-j) + (2 - i))
+			c[i] = c[i]<<1 | uint32((key>>shift)&1)
+		}
+	}
+	transposeToAxes(&c, Bits)
+	return c[0], c[1], c[2]
+}
+
+// axesToTranspose converts lattice coordinates (b bits each) into the
+// transposed Hilbert representation, in place.
+func axesToTranspose(x *[3]uint32, b int) {
+	m := uint32(1) << (b - 1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < 3; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < 3; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[2]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < 3; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes is the inverse of axesToTranspose.
+func transposeToAxes(x *[3]uint32, b int) {
+	n := uint32(2) << (b - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[2] >> 1
+	for i := 2; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != n; q <<= 1 {
+		p := q - 1
+		for i := 2; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// Order is the curve used for sorting.
+type Order int
+
+// Supported orders.
+const (
+	OrderHilbert Order = iota // the paper's choice
+	OrderMorton
+)
+
+// Keys computes the curve key of every point with respect to the cubified
+// bounding box of the whole set.
+func Keys(pts []vec.V3, box geom.AABB, order Order) []uint64 {
+	cube := box.Cube()
+	keys := make([]uint64, len(pts))
+	for i, p := range pts {
+		x, y, z := Discretize(p, cube)
+		if order == OrderMorton {
+			keys[i] = MortonKey(x, y, z)
+		} else {
+			keys[i] = HilbertKey(x, y, z)
+		}
+	}
+	return keys
+}
+
+// Permutation returns the index permutation that sorts pts along the curve.
+// Ties are broken by original index so the result is deterministic.
+func Permutation(pts []vec.V3, box geom.AABB, order Order) []int {
+	keys := Keys(pts, box, order)
+	perm := make([]int, len(pts))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	return perm
+}

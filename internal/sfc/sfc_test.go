@@ -1,0 +1,167 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+
+	"treecode/internal/geom"
+	"treecode/internal/vec"
+)
+
+func TestMortonKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y, z uint32
+		key     uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 1},
+		{0, 1, 0, 2},
+		{0, 0, 1, 4},
+		{1, 1, 1, 7},
+		{2, 0, 0, 8},
+		{3, 3, 3, 63},
+	}
+	for _, c := range cases {
+		if got := MortonKey(c.x, c.y, c.z); got != c.key {
+			t.Errorf("MortonKey(%d,%d,%d) = %d, want %d", c.x, c.y, c.z, got, c.key)
+		}
+	}
+}
+
+func TestMortonMonotoneInOctants(t *testing.T) {
+	// Within one octant level, keys of the low half are below the high half.
+	if MortonKey(100, 100, 100) >= MortonKey(1<<20, 100, 100) {
+		t.Error("Morton order violated across x halves")
+	}
+}
+
+// hilbertKeySmall computes a Hilbert key at reduced resolution by scaling up
+// the coordinates to the full Bits resolution. For exhaustive small-grid
+// tests we instead exercise the full-resolution code on the lattice corners.
+
+func TestHilbertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		x := rng.Uint32() & maxCoord
+		y := rng.Uint32() & maxCoord
+		z := rng.Uint32() & maxCoord
+		k := HilbertKey(x, y, z)
+		gx, gy, gz := HilbertDecode(k)
+		if gx != x || gy != y || gz != z {
+			t.Fatalf("round trip failed: (%d,%d,%d) -> %d -> (%d,%d,%d)", x, y, z, k, gx, gy, gz)
+		}
+	}
+}
+
+func TestHilbertBijectiveOnCoarseGrid(t *testing.T) {
+	// Map a full 16^3 grid (scaled into the high bits so cells are distinct
+	// full-resolution lattice points) and check keys are unique.
+	const side = 16
+	shift := uint(Bits - 4)
+	seen := make(map[uint64]bool, side*side*side)
+	for x := uint32(0); x < side; x++ {
+		for y := uint32(0); y < side; y++ {
+			for z := uint32(0); z < side; z++ {
+				k := HilbertKey(x<<shift, y<<shift, z<<shift)
+				if seen[k] {
+					t.Fatalf("duplicate key for (%d,%d,%d)", x, y, z)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive Hilbert indices must decode to lattice cells that are face
+	// neighbors (Manhattan distance exactly 1). This is the defining property
+	// of the Hilbert curve and the reason the paper uses it for locality.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64() % ((1 << (3 * Bits)) - 1)
+		x0, y0, z0 := HilbertDecode(k)
+		x1, y1, z1 := HilbertDecode(k + 1)
+		d := absDiff(x0, x1) + absDiff(y0, y1) + absDiff(z0, z1)
+		if d != 1 {
+			t.Fatalf("indices %d and %d decode to cells at Manhattan distance %d", k, k+1, d)
+		}
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestDiscretize(t *testing.T) {
+	box := geom.AABB{Lo: vec.V3{}, Hi: vec.V3{X: 1, Y: 1, Z: 1}}
+	x, y, z := Discretize(vec.V3{}, box)
+	if x != 0 || y != 0 || z != 0 {
+		t.Errorf("origin -> (%d,%d,%d)", x, y, z)
+	}
+	x, y, z = Discretize(vec.V3{X: 1, Y: 1, Z: 1}, box)
+	if x != maxCoord || y != maxCoord || z != maxCoord {
+		t.Errorf("corner -> (%d,%d,%d), want max", x, y, z)
+	}
+	// Out-of-box points clamp rather than wrap.
+	x, _, _ = Discretize(vec.V3{X: 2, Y: 0.5, Z: 0.5}, box)
+	if x != maxCoord {
+		t.Errorf("clamp failed: %d", x)
+	}
+	// Degenerate box.
+	x, y, z = Discretize(vec.V3{X: 0.3}, geom.AABB{})
+	if x != 0 || y != 0 || z != 0 {
+		t.Errorf("degenerate box -> (%d,%d,%d)", x, y, z)
+	}
+}
+
+func TestPermutationSortsKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := make([]vec.V3, 300)
+	for i := range pts {
+		pts[i] = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	box := geom.Bound(pts)
+	for _, ord := range []Order{OrderHilbert, OrderMorton} {
+		perm := Permutation(pts, box, ord)
+		if len(perm) != len(pts) {
+			t.Fatalf("perm length %d", len(perm))
+		}
+		seen := make([]bool, len(pts))
+		for _, p := range perm {
+			if seen[p] {
+				t.Fatal("permutation repeats an index")
+			}
+			seen[p] = true
+		}
+		keys := Keys(pts, box, ord)
+		for i := 1; i < len(perm); i++ {
+			if keys[perm[i-1]] > keys[perm[i]] {
+				t.Fatal("permutation does not sort keys")
+			}
+		}
+	}
+}
+
+func TestHilbertLocalityBeatsRandom(t *testing.T) {
+	// Average distance between consecutive points in Hilbert order should be
+	// far below the average for a random order — the property the parallel
+	// chunking relies on.
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]vec.V3, 2000)
+	for i := range pts {
+		pts[i] = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	box := geom.Bound(pts)
+	perm := Permutation(pts, box, OrderHilbert)
+	var hilbert, random float64
+	for i := 1; i < len(pts); i++ {
+		hilbert += pts[perm[i-1]].Dist(pts[perm[i]])
+		random += pts[i-1].Dist(pts[i])
+	}
+	if hilbert > random/3 {
+		t.Errorf("Hilbert order not local: consecutive distance %v vs random %v", hilbert, random)
+	}
+}

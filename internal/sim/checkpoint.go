@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+// checkpoint is the serialized form of a simulation. Only plain data is
+// stored; the treecode is rebuilt on restore (it is derived state).
+type checkpoint struct {
+	Version   int
+	Steps     int
+	Dt        float64
+	Soften    float64
+	Particles []points.Particle
+	Vel       []vec.V3
+}
+
+const checkpointVersion = 1
+
+// Save writes the simulation state (positions, masses, velocities, step
+// counter, and the physical parameters) with encoding/gob. The treecode
+// configuration is not stored: pass it to Load, since evaluation settings
+// are a property of how you continue, not of the physical state.
+func (s *Simulator) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(checkpoint{
+		Version:   checkpointVersion,
+		Steps:     s.Steps,
+		Dt:        s.Cfg.Dt,
+		Soften:    s.Cfg.Soften,
+		Particles: s.State.Set.Particles,
+		Vel:       s.State.Vel,
+	})
+}
+
+// Load restores a simulation saved with Save, attaching the given force
+// configuration for subsequent steps.
+func Load(r io.Reader, force Config) (*Simulator, error) {
+	var c checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("sim: decoding checkpoint: %w", err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint version %d, want %d", c.Version, checkpointVersion)
+	}
+	cfg := force
+	cfg.Dt = c.Dt
+	cfg.Soften = c.Soften
+	sim, err := New(State{Set: &points.Set{Particles: c.Particles}, Vel: c.Vel}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim.Steps = c.Steps
+	return sim, nil
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"treecode/internal/core"
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	set, _ := points.Generate(points.Plummer, 200, 1)
+	cfg := Config{Dt: 1e-3, Soften: 0.01, Force: core.Config{Degree: 4}}
+	s, err := New(State{Set: set, Vel: make([]vec.V3, set.N())}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(3); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Steps != 3 {
+		t.Fatalf("steps = %d", restored.Steps)
+	}
+	if restored.Cfg.Dt != 1e-3 || restored.Cfg.Soften != 0.01 {
+		t.Fatal("physical parameters lost")
+	}
+	// Bit-identical state.
+	for i := range s.State.Set.Particles {
+		if s.State.Set.Particles[i] != restored.State.Set.Particles[i] {
+			t.Fatalf("particle %d differs", i)
+		}
+		if s.State.Vel[i] != restored.State.Vel[i] {
+			t.Fatalf("velocity %d differs", i)
+		}
+	}
+	// And the continuation is bit-identical too.
+	if err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.State.Set.Particles {
+		if s.State.Set.Particles[i].Pos != restored.State.Set.Particles[i].Pos {
+			t.Fatalf("continuation diverged at particle %d", i)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("garbage"), Config{}); err == nil {
+		t.Error("garbage should fail to load")
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	set, _ := points.Generate(points.Uniform, 5, 2)
+	s, _ := New(State{Set: set, Vel: make([]vec.V3, 5)}, Config{Dt: 0.1})
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version by re-encoding through the struct directly is
+	// awkward with gob; instead check that truncated data fails.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc), Config{}); err == nil {
+		t.Error("truncated checkpoint should fail")
+	}
+}

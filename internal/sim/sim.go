@@ -1,0 +1,173 @@
+// Package sim provides a leapfrog (kick-drift-kick) time integrator driving
+// the treecode's force evaluation — the n-body simulation loop of the
+// astrophysics applications that motivate the paper.
+//
+// Convention: particles carry positive "charges" interpreted as masses, and
+// the interaction is attractive gravity with G = 1: the potential energy of
+// a pair is -m_i m_j / r and the acceleration of particle i is
+// -sum_j m_j (x_i - x_j)/r^3 = -E_i where E_i is the field computed by the
+// treecode for the 1/r kernel.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"treecode/internal/core"
+	"treecode/internal/harmonics"
+	"treecode/internal/points"
+	"treecode/internal/tree"
+	"treecode/internal/vec"
+)
+
+// State is a snapshot of an n-body system.
+type State struct {
+	Set *points.Set // positions and masses
+	Vel []vec.V3
+}
+
+// Config controls the simulation.
+type Config struct {
+	Dt     float64     // timestep
+	Force  core.Config // treecode configuration used every step
+	Soften float64     // Plummer softening length (0 = none)
+}
+
+// Simulator advances an n-body system with leapfrog and treecode forces.
+type Simulator struct {
+	Cfg   Config
+	State State
+
+	Steps int
+}
+
+// New validates and wraps the initial state.
+func New(st State, cfg Config) (*Simulator, error) {
+	if st.Set == nil || st.Set.N() == 0 {
+		return nil, fmt.Errorf("sim: empty system")
+	}
+	if len(st.Vel) != st.Set.N() {
+		return nil, fmt.Errorf("sim: %d velocities for %d particles", len(st.Vel), st.Set.N())
+	}
+	if cfg.Dt <= 0 {
+		return nil, fmt.Errorf("sim: non-positive dt %v", cfg.Dt)
+	}
+	return &Simulator{Cfg: cfg, State: st}, nil
+}
+
+// Accelerations computes gravitational accelerations with the treecode.
+func (s *Simulator) Accelerations() ([]vec.V3, *core.Stats, error) {
+	if s.Cfg.Soften > 0 {
+		return s.softenedAccel()
+	}
+	e, err := core.New(s.State.Set, s.Cfg.Force)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, field, st := e.Fields()
+	acc := make([]vec.V3, len(field))
+	for i, f := range field {
+		acc[i] = f.Neg() // attractive
+	}
+	return acc, st, nil
+}
+
+// softenedAccel computes Plummer-softened accelerations directly through
+// the tree walk of near-field pairs plus far-field multipoles. Softening
+// only matters at short range, so it is applied to the direct part; the
+// multipole far field is unsoftened (r >> eps there).
+func (s *Simulator) softenedAccel() ([]vec.V3, *core.Stats, error) {
+	e, err := core.New(s.State.Set, s.Cfg.Force)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := e.Tree
+	eps2 := s.Cfg.Soften * s.Cfg.Soften
+	n := len(t.Pos)
+	acc := make([]vec.V3, n)
+	var st core.Stats
+	maxDeg := 0
+	t.Walk(func(nd *tree.Node) {
+		if nd.Degree > maxDeg {
+			maxDeg = nd.Degree
+		}
+	})
+	buf := make([]complex128, harmonics.Len(maxDeg+1))
+	for i := 0; i < n; i++ {
+		var a vec.V3
+		xi := t.Pos[i]
+		e.VisitInteractions(xi, i, func(nd *tree.Node, degree int) {
+			_, grad := nd.Mp.EvaluateFieldBuf(xi, degree, buf)
+			a = a.Add(grad) // attractive: acc = +grad(phi) with phi = sum m/r
+		}, func(j int) {
+			d := t.Pos[j].Sub(xi)
+			r2 := d.Norm2() + eps2
+			if r2 == 0 {
+				return
+			}
+			inv := 1 / r2
+			a = a.Add(d.Scale(t.Q[j] * inv * math.Sqrt(inv)))
+		})
+		acc[t.Perm[i]] = a
+	}
+	return acc, &st, nil
+}
+
+// Step advances one kick-drift-kick timestep.
+func (s *Simulator) Step() error {
+	acc, _, err := s.Accelerations()
+	if err != nil {
+		return err
+	}
+	dt := s.Cfg.Dt
+	st := s.State
+	for i := range st.Vel {
+		st.Vel[i] = st.Vel[i].Add(acc[i].Scale(dt / 2))
+		st.Set.Particles[i].Pos = st.Set.Particles[i].Pos.Add(st.Vel[i].Scale(dt))
+	}
+	acc2, _, err := s.Accelerations()
+	if err != nil {
+		return err
+	}
+	for i := range st.Vel {
+		st.Vel[i] = st.Vel[i].Add(acc2[i].Scale(dt / 2))
+	}
+	s.Steps++
+	return nil
+}
+
+// Run advances k steps.
+func (s *Simulator) Run(k int) error {
+	for i := 0; i < k; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Energy returns kinetic, potential, and total energy (computed directly —
+// O(n^2) — so only call it for diagnostics on modest n).
+func (s *Simulator) Energy() (kin, pot, total float64) {
+	ps := s.State.Set.Particles
+	for i, p := range ps {
+		kin += 0.5 * p.Charge * s.State.Vel[i].Norm2()
+	}
+	eps2 := s.Cfg.Soften * s.Cfg.Soften
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			r2 := ps[i].Pos.Dist2(ps[j].Pos) + eps2
+			pot -= ps[i].Charge * ps[j].Charge / math.Sqrt(r2)
+		}
+	}
+	return kin, pot, kin + pot
+}
+
+// Momentum returns the total linear momentum.
+func (s *Simulator) Momentum() vec.V3 {
+	var p vec.V3
+	for i, part := range s.State.Set.Particles {
+		p = p.Add(s.State.Vel[i].Scale(part.Charge))
+	}
+	return p
+}

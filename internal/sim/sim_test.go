@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"treecode/internal/core"
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+// twoBodyCircular builds a two-body system on a circular orbit about the
+// origin: masses m each at +-(r, 0, 0) with speeds for a circular orbit.
+func twoBodyCircular() State {
+	m := 1.0
+	r := 0.5
+	// Circular orbit: v^2 / r = G m_other / (2r)^2 => v = sqrt(m/(4*2r))... with
+	// separation d = 2r, force per mass = m/d^2 = m/(4r^2); centripetal v^2/r.
+	v := math.Sqrt(m / (4 * r))
+	set := &points.Set{Particles: []points.Particle{
+		{Pos: vec.V3{X: r}, Charge: m},
+		{Pos: vec.V3{X: -r}, Charge: m},
+	}}
+	vel := []vec.V3{{Y: v}, {Y: -v}}
+	return State{Set: set, Vel: vel}
+}
+
+func TestTwoBodyOrbitConservesEnergy(t *testing.T) {
+	st := twoBodyCircular()
+	s, err := New(st, Config{Dt: 0.01, Force: core.Config{Degree: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, e0 := s.Energy()
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	_, _, e1 := s.Energy()
+	if math.Abs(e1-e0) > 1e-3*math.Abs(e0) {
+		t.Fatalf("energy drift %v -> %v", e0, e1)
+	}
+	// Radius stays near 0.5 for a circular orbit.
+	r := s.State.Set.Particles[0].Pos.Norm()
+	if math.Abs(r-0.5) > 0.05 {
+		t.Fatalf("orbit radius drifted to %v", r)
+	}
+	if s.Steps != 200 {
+		t.Fatalf("Steps = %d", s.Steps)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	set, _ := points.Generate(points.Plummer, 300, 1)
+	vel := make([]vec.V3, set.N())
+	s, err := New(State{Set: set, Vel: vel}, Config{
+		Dt:     0.001,
+		Force:  core.Config{Method: core.Adaptive, Degree: 6, Alpha: 0.4},
+		Soften: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	// Starting from rest, the total momentum should stay near zero (exact
+	// for direct; approximate for the treecode since forces are not
+	// perfectly antisymmetric).
+	p := s.Momentum()
+	scale := set.TotalAbsCharge() * 0.05 // generous tolerance for treecode asymmetry
+	if p.Norm() > scale {
+		t.Fatalf("momentum %v too large", p)
+	}
+}
+
+func TestSoftenedAccelFiniteForCoincident(t *testing.T) {
+	set := &points.Set{Particles: []points.Particle{
+		{Pos: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, Charge: 1},
+		{Pos: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, Charge: 1},
+	}}
+	s, err := New(State{Set: set, Vel: make([]vec.V3, 2)}, Config{
+		Dt: 0.01, Soften: 0.05, Force: core.Config{Degree: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _, err := s.Accelerations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range acc {
+		if math.IsNaN(a.Norm()) || math.IsInf(a.Norm(), 0) {
+			t.Fatalf("softened acceleration not finite: %v", a)
+		}
+	}
+}
+
+func TestSoftenedMatchesUnsoftenedAtLargeSeparation(t *testing.T) {
+	set := &points.Set{Particles: []points.Particle{
+		{Pos: vec.V3{X: 0}, Charge: 1},
+		{Pos: vec.V3{X: 1}, Charge: 1},
+	}}
+	mk := func(soften float64) vec.V3 {
+		s, err := New(State{Set: set.Clone(), Vel: make([]vec.V3, 2)}, Config{
+			Dt: 0.01, Soften: soften, Force: core.Config{Degree: 6},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, _, err := s.Accelerations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc[0]
+	}
+	hard := mk(0)
+	soft := mk(1e-6)
+	if hard.Sub(soft).Norm() > 1e-6 {
+		t.Fatalf("tiny softening changed the force: %v vs %v", hard, soft)
+	}
+	// The force should be the analytic two-body value.
+	if math.Abs(hard.X-1) > 1e-9 || math.Abs(hard.Y) > 1e-12 {
+		t.Fatalf("two-body acceleration %v, want (1,0,0)", hard)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	set, _ := points.Generate(points.Uniform, 10, 2)
+	if _, err := New(State{Set: set, Vel: make([]vec.V3, 5)}, Config{Dt: 0.1}); err == nil {
+		t.Error("velocity length mismatch should fail")
+	}
+	if _, err := New(State{Set: set, Vel: make([]vec.V3, 10)}, Config{Dt: 0}); err == nil {
+		t.Error("zero dt should fail")
+	}
+	if _, err := New(State{Set: &points.Set{}, Vel: nil}, Config{Dt: 0.1}); err == nil {
+		t.Error("empty system should fail")
+	}
+}

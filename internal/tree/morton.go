@@ -1,0 +1,104 @@
+package tree
+
+import (
+	"sort"
+
+	"treecode/internal/geom"
+	"treecode/internal/points"
+	"treecode/internal/sfc"
+	"treecode/internal/vec"
+)
+
+// BuildMorton constructs the octree by sorting particles along the Morton
+// (Z-order) curve and deriving nodes from key-prefix runs — the
+// construction used by production treecodes (Warren & Salmon's hashed
+// oct-tree lineage, which the paper cites) because the sort is cache-
+// friendly and the per-level partition becomes a binary search.
+//
+// The resulting decomposition is identical to Build's recursive octant
+// partition (same cubes, same leaf contents, up to floating-point boundary
+// rounding), but depth is capped at the key resolution (sfc.Bits levels).
+func BuildMorton(set *points.Set, cfg Config) (*Tree, error) {
+	if set == nil || set.N() == 0 {
+		return nil, errEmpty()
+	}
+	if cfg.LeafCap <= 0 {
+		cfg.LeafCap = 8
+	}
+	n := set.N()
+	t := &Tree{
+		Pos:     make([]vec.V3, n),
+		Q:       make([]float64, n),
+		Perm:    make([]int, n),
+		LeafCap: cfg.LeafCap,
+	}
+	for i, p := range set.Particles {
+		t.Pos[i] = p.Pos
+		t.Q[i] = p.Charge
+		t.Perm[i] = i
+	}
+	rootBox := geom.Bound(t.Pos).Cube().Inflate(1 + 1e-9)
+	if rootBox.MaxDim() == 0 {
+		c := rootBox.Center()
+		d := vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
+		rootBox = geom.AABB{Lo: c.Sub(d), Hi: c.Add(d)}
+	}
+
+	// Sort everything by Morton key over the root cube.
+	keys := make([]uint64, n)
+	for i, p := range t.Pos {
+		x, y, z := sfc.Discretize(p, rootBox)
+		keys[i] = sfc.MortonKey(x, y, z)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	pos := make([]vec.V3, n)
+	q := make([]float64, n)
+	perm := make([]int, n)
+	sorted := make([]uint64, n)
+	for i, o := range order {
+		pos[i], q[i], perm[i], sorted[i] = t.Pos[o], t.Q[o], t.Perm[o], keys[o]
+	}
+	t.Pos, t.Q, t.Perm = pos, q, perm
+
+	t.Root = t.buildMorton(sorted, rootBox, 0, n, 0)
+	return t, nil
+}
+
+func errEmpty() error {
+	// Shared message with Build.
+	_, err := Build(nil, Config{})
+	return err
+}
+
+// buildMorton builds the subtree for the sorted key range [lo, hi).
+func (t *Tree) buildMorton(keys []uint64, box geom.AABB, lo, hi, level int) *Node {
+	n := &Node{Box: box, Level: level, Start: lo, End: hi}
+	t.NNodes++
+	if level > t.Height {
+		t.Height = level
+	}
+	t.summarize(n)
+	if hi-lo <= t.LeafCap || level >= sfc.Bits {
+		t.NLeaves++
+		return n
+	}
+	shift := uint(3 * (sfc.Bits - 1 - level))
+	at := lo
+	for oct := 0; oct < 8; oct++ {
+		// Find the end of this octant's run by binary search on the key
+		// bits at this level.
+		end := at + sort.Search(hi-at, func(i int) bool {
+			return int(keys[at+i]>>shift&7) > oct
+		})
+		if end > at {
+			n.Children = append(n.Children,
+				t.buildMorton(keys, box.Octant(oct), at, end, level+1))
+			at = end
+		}
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+func TestMortonBuildInvariants(t *testing.T) {
+	for _, d := range []points.Distribution{points.Uniform, points.Gaussian, points.Shell} {
+		set, _ := points.Generate(d, 3000, 1)
+		tr, err := BuildMorton(set, Config{LeafCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, set.N())
+		for _, p := range tr.Perm {
+			if seen[p] {
+				t.Fatal("perm repeats")
+			}
+			seen[p] = true
+		}
+		tr.Walk(func(n *Node) {
+			for i := n.Start; i < n.End; i++ {
+				if !n.Box.Contains(tr.Pos[i]) {
+					t.Fatalf("%s: particle escapes its box", d)
+				}
+				if tr.Pos[i].Dist(n.Center) > n.Radius*(1+1e-12)+1e-15 {
+					t.Fatalf("%s: radius too small", d)
+				}
+			}
+			if !n.IsLeaf() {
+				at := n.Start
+				for _, c := range n.Children {
+					if c.Start != at || c.Count() == 0 {
+						t.Fatalf("%s: children malformed", d)
+					}
+					at = c.End
+				}
+				if at != n.End {
+					t.Fatalf("%s: children do not cover parent", d)
+				}
+			} else if n.Count() > tr.LeafCap && n.Level < 21 {
+				t.Fatalf("%s: oversized leaf above resolution limit", d)
+			}
+		})
+	}
+}
+
+// The two constructions must produce the same decomposition.
+func TestMortonMatchesRecursiveBuild(t *testing.T) {
+	for _, d := range []points.Distribution{points.Uniform, points.MultiGauss} {
+		set, _ := points.Generate(d, 4000, 2)
+		a, err := Build(set, Config{LeafCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BuildMorton(set, Config{LeafCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NNodes != b.NNodes || a.NLeaves != b.NLeaves || a.Height != b.Height {
+			t.Fatalf("%s: structure differs: %d/%d/%d vs %d/%d/%d", d,
+				a.NNodes, a.NLeaves, a.Height, b.NNodes, b.NLeaves, b.Height)
+		}
+		// Same cluster statistics node-by-node (pre-order walk pairs up
+		// identically-structured trees).
+		var nodesA, nodesB []*Node
+		a.Walk(func(n *Node) { nodesA = append(nodesA, n) })
+		b.Walk(func(n *Node) { nodesB = append(nodesB, n) })
+		for i := range nodesA {
+			na, nb := nodesA[i], nodesB[i]
+			if na.Level != nb.Level || na.Count() != nb.Count() {
+				t.Fatalf("%s: node %d shape differs", d, i)
+			}
+			if math.Abs(na.AbsCharge-nb.AbsCharge) > 1e-9*(1+na.AbsCharge) {
+				t.Fatalf("%s: node %d charge differs", d, i)
+			}
+			if na.Center.Dist(nb.Center) > 1e-9 {
+				t.Fatalf("%s: node %d center differs", d, i)
+			}
+		}
+	}
+}
+
+func TestMortonDuplicatePoints(t *testing.T) {
+	set := &points.Set{}
+	for i := 0; i < 50; i++ {
+		set.Particles = append(set.Particles, points.Particle{
+			Pos: vec.V3{X: 0.25, Y: 0.5, Z: 0.75}, Charge: 1,
+		})
+	}
+	tr, err := BuildMorton(set, Config{LeafCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Count() != 50 {
+		t.Fatal("lost particles")
+	}
+}
+
+func TestMortonEmpty(t *testing.T) {
+	if _, err := BuildMorton(&points.Set{}, Config{}); err == nil {
+		t.Fatal("empty set should fail")
+	}
+}
+
+func BenchmarkBuildRecursive50k(b *testing.B) {
+	set, _ := points.Generate(points.Uniform, 50000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(set, Config{LeafCap: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildMorton50k(b *testing.B) {
+	set, _ := points.Generate(points.Uniform, 50000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildMorton(set, Config{LeafCap: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+// arbitrarySet generates adversarial particle sets: random counts, clumped
+// and collinear layouts, duplicated points, mixed charges.
+type arbitrarySet struct {
+	set     *points.Set
+	leafCap int
+}
+
+func (arbitrarySet) Generate(rng *rand.Rand, _ int) reflect.Value {
+	n := 1 + rng.Intn(300)
+	set := &points.Set{Particles: make([]points.Particle, n)}
+	mode := rng.Intn(4)
+	for i := range set.Particles {
+		var p vec.V3
+		switch mode {
+		case 0: // uniform
+			p = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		case 1: // collinear
+			t := rng.Float64()
+			p = vec.V3{X: t, Y: 2 * t, Z: -t}
+		case 2: // tight clump + outliers
+			p = vec.V3{X: 0.5 + 1e-9*rng.NormFloat64(), Y: 0.5, Z: 0.5}
+			if rng.Intn(10) == 0 {
+				p = vec.V3{X: rng.Float64() * 100}
+			}
+		default: // duplicates
+			p = vec.V3{X: float64(rng.Intn(3)), Y: float64(rng.Intn(3)), Z: float64(rng.Intn(3))}
+		}
+		set.Particles[i] = points.Particle{Pos: p, Charge: rng.NormFloat64()}
+	}
+	return reflect.ValueOf(arbitrarySet{set: set, leafCap: 1 + rng.Intn(32)})
+}
+
+func TestBuildInvariantsQuick(t *testing.T) {
+	f := func(in arbitrarySet) bool {
+		tr, err := Build(in.set, Config{LeafCap: in.leafCap})
+		if err != nil {
+			return false
+		}
+		n := in.set.N()
+		// Permutation is a bijection.
+		seen := make([]bool, n)
+		for _, p := range tr.Perm {
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		ok := true
+		var total float64
+		tr.Walk(func(nd *Node) {
+			// Containment and radius.
+			for i := nd.Start; i < nd.End; i++ {
+				if !nd.Box.Contains(tr.Pos[i]) {
+					ok = false
+				}
+				if tr.Pos[i].Dist(nd.Center) > nd.Radius*(1+1e-9)+1e-12 {
+					ok = false
+				}
+			}
+			// Children partition the parent range.
+			if !nd.IsLeaf() {
+				at := nd.Start
+				for _, c := range nd.Children {
+					if c.Start != at || c.Count() == 0 {
+						ok = false
+					}
+					at = c.End
+				}
+				if at != nd.End {
+					ok = false
+				}
+			}
+			if nd == tr.Root {
+				total = nd.AbsCharge
+			}
+		})
+		// Total charge conserved.
+		var want float64
+		for _, p := range in.set.Particles {
+			want += math.Abs(p.Charge)
+		}
+		if math.Abs(total-want) > 1e-9*(1+want) {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

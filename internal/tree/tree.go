@@ -1,0 +1,271 @@
+// Package tree builds the adaptive octree (the Barnes-Hut hierarchical
+// domain decomposition) over a particle set. Nodes carry the cluster
+// statistics the paper's analysis needs — net absolute charge A, expansion
+// center, cluster radius a, box size, level — and a slot for the node's
+// multipole expansion, whose degree the evaluator chooses (fixed for the
+// original method, per-node for the improved method).
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"treecode/internal/geom"
+	"treecode/internal/multipole"
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+// MaxDepth caps tree depth so duplicate or near-duplicate points terminate.
+const MaxDepth = 32
+
+// Node is one box of the hierarchical decomposition.
+type Node struct {
+	Box      geom.AABB // cubic cell
+	Level    int       // root is 0
+	Children []*Node   // nil for leaves; non-nil children only
+	Start    int       // particle range [Start, End) in tree order
+	End      int
+
+	Center    vec.V3  // expansion center: center of |charge|, or box center if A == 0
+	Charge    float64 // net charge of the cluster
+	AbsCharge float64 // A = sum |q_i|
+	Radius    float64 // max distance from Center to a contained particle
+
+	Degree int                  // multipole degree selected by the evaluator
+	Mp     *multipole.Expansion // filled by the evaluator's upward pass
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Count returns the number of particles in the node.
+func (n *Node) Count() int { return n.End - n.Start }
+
+// Size returns the edge length of the (cubic) box.
+func (n *Node) Size() float64 { return n.Box.Size().X }
+
+// Tree is an octree over a particle set. Particles are stored permuted into
+// tree order (contiguous per node); Perm maps tree order back to the
+// original index: Pos[i] == original[Perm[i]].
+type Tree struct {
+	Root    *Node
+	Pos     []vec.V3  // positions in tree order
+	Q       []float64 // charges in tree order
+	Perm    []int     // tree order -> original index
+	LeafCap int
+	Height  int // deepest level
+	NNodes  int
+	NLeaves int
+}
+
+// Config controls tree construction.
+type Config struct {
+	// LeafCap is the maximum number of particles per leaf. The paper notes
+	// leaves of 32-64 particles are used in practice for cache performance;
+	// smaller values give deeper trees. Default 8.
+	LeafCap int
+}
+
+// Build constructs the octree for the particle set.
+func Build(set *points.Set, cfg Config) (*Tree, error) {
+	if set == nil || set.N() == 0 {
+		return nil, fmt.Errorf("tree: empty particle set")
+	}
+	if cfg.LeafCap <= 0 {
+		cfg.LeafCap = 8
+	}
+	n := set.N()
+	t := &Tree{
+		Pos:     make([]vec.V3, n),
+		Q:       make([]float64, n),
+		Perm:    make([]int, n),
+		LeafCap: cfg.LeafCap,
+	}
+	for i, p := range set.Particles {
+		t.Pos[i] = p.Pos
+		t.Q[i] = p.Charge
+		t.Perm[i] = i
+	}
+	rootBox := geom.Bound(t.Pos).Cube().Inflate(1 + 1e-9)
+	if rootBox.MaxDim() == 0 {
+		// All particles coincide; inflate so octant math works.
+		c := rootBox.Center()
+		d := vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
+		rootBox = geom.AABB{Lo: c.Sub(d), Hi: c.Add(d)}
+	}
+	t.Root = t.build(rootBox, 0, n, 0)
+	return t, nil
+}
+
+// build recursively constructs the subtree for particle range [lo, hi).
+func (t *Tree) build(box geom.AABB, lo, hi, level int) *Node {
+	n := &Node{Box: box, Level: level, Start: lo, End: hi}
+	t.NNodes++
+	if level > t.Height {
+		t.Height = level
+	}
+	t.summarize(n)
+	if hi-lo <= t.LeafCap || level >= MaxDepth {
+		t.NLeaves++
+		return n
+	}
+	// Partition the range into the 8 octants (in-place bucket sort).
+	var counts [8]int
+	for i := lo; i < hi; i++ {
+		counts[box.OctantIndex(t.Pos[i])]++
+	}
+	var starts, next [8]int
+	acc := lo
+	for o := 0; o < 8; o++ {
+		starts[o] = acc
+		next[o] = acc
+		acc += counts[o]
+	}
+	// Cycle-following permutation into octant order.
+	for o := 0; o < 8; o++ {
+		for i := next[o]; i < starts[o]+counts[o]; {
+			dst := box.OctantIndex(t.Pos[i])
+			if dst == o {
+				i++
+				next[o] = i
+				continue
+			}
+			j := next[dst]
+			t.Pos[i], t.Pos[j] = t.Pos[j], t.Pos[i]
+			t.Q[i], t.Q[j] = t.Q[j], t.Q[i]
+			t.Perm[i], t.Perm[j] = t.Perm[j], t.Perm[i]
+			next[dst] = j + 1
+		}
+	}
+	for o := 0; o < 8; o++ {
+		if counts[o] == 0 {
+			continue
+		}
+		child := t.build(box.Octant(o), starts[o], starts[o]+counts[o], level+1)
+		n.Children = append(n.Children, child)
+	}
+	return n
+}
+
+// summarize computes the cluster statistics of a node.
+func (t *Tree) summarize(n *Node) {
+	var absQ, q float64
+	var wc vec.V3
+	for i := n.Start; i < n.End; i++ {
+		a := t.Q[i]
+		q += a
+		if a < 0 {
+			a = -a
+		}
+		absQ += a
+		wc = wc.Add(t.Pos[i].Scale(a))
+	}
+	n.Charge = q
+	n.AbsCharge = absQ
+	if absQ > 0 {
+		n.Center = wc.Scale(1 / absQ)
+	} else {
+		// Zero net absolute charge (massless cluster): geometric center.
+		n.Center = n.Box.Center()
+	}
+	var r2 float64
+	for i := n.Start; i < n.End; i++ {
+		if d := t.Pos[i].Dist2(n.Center); d > r2 {
+			r2 = d
+		}
+	}
+	n.Radius = math.Sqrt(r2)
+}
+
+// Walk visits every node in pre-order.
+func (t *Tree) Walk(f func(*Node)) { walk(t.Root, f) }
+
+func walk(n *Node, f func(*Node)) {
+	f(n)
+	for _, c := range n.Children {
+		walk(c, f)
+	}
+}
+
+// WalkPost visits every node in post-order (children before parents), the
+// order needed by the upward multipole pass.
+func (t *Tree) WalkPost(f func(*Node)) { walkPost(t.Root, f) }
+
+func walkPost(n *Node, f func(*Node)) {
+	for _, c := range n.Children {
+		walkPost(c, f)
+	}
+	f(n)
+}
+
+// Leaves returns all leaf nodes in tree order.
+func (t *Tree) Leaves() []*Node {
+	out := make([]*Node, 0, t.NLeaves)
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// LevelsWithNodes returns, per level, the number of nodes at that level.
+func (t *Tree) LevelsWithNodes() []int {
+	counts := make([]int, t.Height+1)
+	t.Walk(func(n *Node) { counts[n.Level]++ })
+	return counts
+}
+
+// LeafStatsQuantile returns the q-quantile (0 = min, 1 = max) of the
+// absolute charges of the deepest-level leaves, along with that level's box
+// size. Theorem 3 uses the minimum ("the smallest net charge cluster at
+// lowest level"), the most conservative reference: every heavier cluster is
+// promoted to a higher degree. Larger quantiles trade accuracy for fewer
+// terms by letting clusters up to the quantile keep the minimum degree.
+// ok is false when no leaf carries charge.
+func (t *Tree) LeafStatsQuantile(q float64) (absCharge, size float64, ok bool) {
+	var charges []float64
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() && n.Level == t.Height && n.AbsCharge > 0 {
+			charges = append(charges, n.AbsCharge)
+			size = n.Size()
+		}
+	})
+	if len(charges) == 0 {
+		// Fall back to any nonempty leaf (degenerate trees).
+		return t.MinLeafStats()
+	}
+	sort.Float64s(charges)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(q * float64(len(charges)-1))
+	return charges[i], size, true
+}
+
+// MinLeafStats returns the smallest absolute charge and the matching radius
+// among the deepest-level clusters — the reference cluster of Theorem 3
+// ("the smallest net charge cluster at lowest level"). Zero-charge leaves
+// are skipped; if every leaf has zero charge, ok is false.
+func (t *Tree) MinLeafStats() (absCharge, size float64, ok bool) {
+	absCharge = -1
+	t.Walk(func(n *Node) {
+		if !n.IsLeaf() || n.AbsCharge <= 0 {
+			return
+		}
+		if absCharge < 0 || n.AbsCharge < absCharge ||
+			(n.AbsCharge == absCharge && n.Size() < size) {
+			absCharge = n.AbsCharge
+			size = n.Size()
+		}
+	})
+	if absCharge < 0 {
+		return 0, 0, false
+	}
+	return absCharge, size, true
+}

@@ -1,0 +1,163 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// boundedV3 keeps quick-check inputs in a range where intermediate products
+// cannot overflow.
+var boundedV3 = &quick.Config{
+	Values: func(args []reflect.Value, rng *rand.Rand) {
+		for i := range args {
+			args[i] = reflect.ValueOf(V3{
+				X: rng.NormFloat64() * 100,
+				Y: rng.NormFloat64() * 100,
+				Z: rng.NormFloat64() * 100,
+			})
+		}
+	},
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestBasicOps(t *testing.T) {
+	v := V3{1, 2, 3}
+	w := V3{-4, 5, 0.5}
+	if got := v.Add(w); got != (V3{-3, 7, 3.5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (V3{5, -3, 2.5}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (V3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Neg(); got != (V3{-1, -2, -3}) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := v.Dot(w); got != -4+10+1.5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Norm2(); got != 14 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := v.Norm(); !almostEq(got, math.Sqrt(14), 1e-15) {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestCrossProperties(t *testing.T) {
+	x := V3{1, 0, 0}
+	y := V3{0, 1, 0}
+	z := V3{0, 0, 1}
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(x); got != z.Neg() {
+		t.Errorf("y cross x = %v, want -z", got)
+	}
+	// Cross product is orthogonal to both operands.
+	f := func(a, b V3) bool {
+		c := a.Cross(b)
+		return math.Abs(c.Dot(a)) < 1e-9*(1+a.Norm2()*b.Norm2()) &&
+			math.Abs(c.Dot(b)) < 1e-9*(1+a.Norm2()*b.Norm2())
+	}
+	if err := quick.Check(f, boundedV3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := V3{3, 4, 0}
+	u := v.Normalize()
+	if !almostEq(u.Norm(), 1, 1e-15) {
+		t.Errorf("normalized norm = %v", u.Norm())
+	}
+	zero := V3{}
+	if zero.Normalize() != zero {
+		t.Error("Normalize(0) should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := V3{1, 5, -2}
+	b := V3{0, 7, -1}
+	if got := a.Min(b); got != (V3{0, 5, -2}) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != (V3{1, 7, -1}) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.MaxComponent(); got != 5 {
+		t.Errorf("MaxComponent = %v", got)
+	}
+}
+
+func TestSphericalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := V3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		r, th, ph := v.Spherical()
+		w := FromSpherical(r, th, ph)
+		if v.Dist(w) > 1e-12*(1+v.Norm()) {
+			t.Fatalf("round trip failed: %v -> %v", v, w)
+		}
+		if th < 0 || th > math.Pi {
+			t.Fatalf("theta out of range: %v", th)
+		}
+	}
+}
+
+func TestSphericalOrigin(t *testing.T) {
+	r, th, ph := (V3{}).Spherical()
+	if r != 0 || th != 0 || ph != 0 {
+		t.Errorf("Spherical(0) = %v %v %v", r, th, ph)
+	}
+}
+
+func TestSphericalPoles(t *testing.T) {
+	r, th, _ := (V3{0, 0, 2}).Spherical()
+	if !almostEq(r, 2, 1e-15) || !almostEq(th, 0, 1e-15) {
+		t.Errorf("north pole: r=%v theta=%v", r, th)
+	}
+	r, th, _ = (V3{0, 0, -3}).Spherical()
+	if !almostEq(r, 3, 1e-15) || !almostEq(th, math.Pi, 1e-12) {
+		t.Errorf("south pole: r=%v theta=%v", r, th)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := V3{0, 0, 0}
+	b := V3{2, 4, 6}
+	if got := Lerp(a, b, 0.5); got != (V3{1, 2, 3}) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(a, b V3) bool {
+		return almostEq(a.Dist(b), b.Dist(a), 1e-12) && a.Dist(a) == 0
+	}
+	if err := quick.Check(f, boundedV3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(a, b, c V3) bool {
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9*(1+a.Norm()+b.Norm()+c.Norm())
+	}
+	if err := quick.Check(f, boundedV3); err != nil {
+		t.Error(err)
+	}
+}

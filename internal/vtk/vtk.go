@@ -1,0 +1,95 @@
+// Package vtk writes legacy-VTK files so that particle clouds (with
+// potentials) and boundary meshes (with surface densities) can be inspected
+// in ParaView/VisIt — the practical output channel of an open-source
+// release of this system.
+package vtk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"treecode/internal/mesh"
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+// WriteParticles writes a point cloud with optional per-particle scalar
+// fields (e.g. "potential") and vector fields (e.g. "field"). All field
+// slices must match the particle count.
+func WriteParticles(w io.Writer, set *points.Set,
+	scalars map[string][]float64, vectors map[string][]vec.V3) error {
+	n := set.N()
+	for name, s := range scalars {
+		if len(s) != n {
+			return fmt.Errorf("vtk: scalar %q has %d values for %d particles", name, len(s), n)
+		}
+	}
+	for name, v := range vectors {
+		if len(v) != n {
+			return fmt.Errorf("vtk: vector %q has %d values for %d particles", name, len(v), n)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	header(bw, "treecode particles")
+	fmt.Fprintf(bw, "DATASET POLYDATA\nPOINTS %d double\n", n)
+	for _, p := range set.Particles {
+		fmt.Fprintf(bw, "%g %g %g\n", p.Pos.X, p.Pos.Y, p.Pos.Z)
+	}
+	fmt.Fprintf(bw, "VERTICES %d %d\n", n, 2*n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(bw, "1 %d\n", i)
+	}
+	fmt.Fprintf(bw, "POINT_DATA %d\n", n)
+	fmt.Fprintln(bw, "SCALARS charge double 1\nLOOKUP_TABLE default")
+	for _, p := range set.Particles {
+		fmt.Fprintf(bw, "%g\n", p.Charge)
+	}
+	for name, s := range scalars {
+		fmt.Fprintf(bw, "SCALARS %s double 1\nLOOKUP_TABLE default\n", name)
+		for _, v := range s {
+			fmt.Fprintf(bw, "%g\n", v)
+		}
+	}
+	for name, vs := range vectors {
+		fmt.Fprintf(bw, "VECTORS %s double\n", name)
+		for _, v := range vs {
+			fmt.Fprintf(bw, "%g %g %g\n", v.X, v.Y, v.Z)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMesh writes a triangle mesh with optional per-vertex scalar fields
+// (e.g. the solved surface density).
+func WriteMesh(w io.Writer, m *mesh.Mesh, scalars map[string][]float64) error {
+	for name, s := range scalars {
+		if len(s) != m.NumVerts() {
+			return fmt.Errorf("vtk: scalar %q has %d values for %d vertices", name, len(s), m.NumVerts())
+		}
+	}
+	bw := bufio.NewWriter(w)
+	header(bw, "treecode mesh")
+	fmt.Fprintf(bw, "DATASET POLYDATA\nPOINTS %d double\n", m.NumVerts())
+	for _, v := range m.Verts {
+		fmt.Fprintf(bw, "%g %g %g\n", v.X, v.Y, v.Z)
+	}
+	fmt.Fprintf(bw, "POLYGONS %d %d\n", m.NumTris(), 4*m.NumTris())
+	for _, t := range m.Tris {
+		fmt.Fprintf(bw, "3 %d %d %d\n", t[0], t[1], t[2])
+	}
+	if len(scalars) > 0 {
+		fmt.Fprintf(bw, "POINT_DATA %d\n", m.NumVerts())
+		for name, s := range scalars {
+			fmt.Fprintf(bw, "SCALARS %s double 1\nLOOKUP_TABLE default\n", name)
+			for _, v := range s {
+				fmt.Fprintf(bw, "%g\n", v)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "# vtk DataFile Version 3.0\n%s\nASCII\n", title)
+}

@@ -1,0 +1,81 @@
+package vtk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"treecode/internal/mesh"
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+func TestWriteParticles(t *testing.T) {
+	set, _ := points.Generate(points.Uniform, 10, 1)
+	phi := make([]float64, 10)
+	field := make([]vec.V3, 10)
+	var buf bytes.Buffer
+	err := WriteParticles(&buf, set,
+		map[string][]float64{"potential": phi},
+		map[string][]vec.V3{"field": field})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET POLYDATA",
+		"POINTS 10 double",
+		"VERTICES 10 20",
+		"POINT_DATA 10",
+		"SCALARS charge double 1",
+		"SCALARS potential double 1",
+		"VECTORS field double",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Line-count sanity: every particle appears in POINTS.
+	if strings.Count(out, "\n") < 40 {
+		t.Error("file suspiciously short")
+	}
+}
+
+func TestWriteParticlesLengthMismatch(t *testing.T) {
+	set, _ := points.Generate(points.Uniform, 5, 1)
+	var buf bytes.Buffer
+	if err := WriteParticles(&buf, set, map[string][]float64{"x": make([]float64, 3)}, nil); err == nil {
+		t.Error("scalar length mismatch should error")
+	}
+	if err := WriteParticles(&buf, set, nil, map[string][]vec.V3{"v": make([]vec.V3, 2)}); err == nil {
+		t.Error("vector length mismatch should error")
+	}
+}
+
+func TestWriteMesh(t *testing.T) {
+	m := mesh.Sphere(1, 1, vec.V3{})
+	sigma := make([]float64, m.NumVerts())
+	var buf bytes.Buffer
+	if err := WriteMesh(&buf, m, map[string][]float64{"density": sigma}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"POLYGONS 80 320", "SCALARS density double 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// No scalars: no POINT_DATA section.
+	buf.Reset()
+	if err := WriteMesh(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "POINT_DATA") {
+		t.Error("unexpected POINT_DATA without scalars")
+	}
+	// Mismatch errors.
+	if err := WriteMesh(&buf, m, map[string][]float64{"x": make([]float64, 3)}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

@@ -1,0 +1,65 @@
+package wspd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"treecode/internal/vec"
+)
+
+type arbitraryPoints struct {
+	pts []vec.V3
+	s   float64
+}
+
+func (arbitraryPoints) Generate(rng *rand.Rand, _ int) reflect.Value {
+	n := 2 + rng.Intn(60)
+	pts := make([]vec.V3, n)
+	clumped := rng.Intn(2) == 0
+	for i := range pts {
+		if clumped && i%3 != 0 {
+			pts[i] = pts[rng.Intn(i+1)] // duplicate an earlier point
+		} else {
+			pts[i] = vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		}
+	}
+	return reflect.ValueOf(arbitraryPoints{pts: pts, s: 0.5 + 3*rng.Float64()})
+}
+
+// Every unordered pair of indices is covered by exactly one WSPD pair, for
+// arbitrary (including degenerate) inputs.
+func TestDecompositionCoverageQuick(t *testing.T) {
+	f := func(in arbitraryPoints) bool {
+		tr, err := Build(in.pts)
+		if err != nil {
+			return false
+		}
+		n := len(in.pts)
+		counts := make(map[[2]int]int)
+		for _, p := range tr.Decompose(in.s) {
+			for i := p.A.Start; i < p.A.End; i++ {
+				for j := p.B.Start; j < p.B.End; j++ {
+					a, b := tr.Perm[i], tr.Perm[j]
+					if a > b {
+						a, b = b, a
+					}
+					counts[[2]int{a, b}]++
+				}
+			}
+		}
+		if len(counts) != n*(n-1)/2 {
+			return false
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package wspd implements the well-separated pair decomposition of Callahan
+// and Kosaraju (STOC 1992), the technique the paper cites for extending its
+// complexity results to unstructured distributions ("box-collapsing and
+// flexible splitting"). A WSPD covers all particle pairs by O(n) pairs of
+// clusters, each pair well separated; evaluating one multipole interaction
+// per pair yields an O(n) method on any distribution.
+//
+// The construction uses a fair-split tree: boxes are split at the midpoint
+// of their longest side and collapsed to the bounding box of their contents
+// (the box-collapsing that defeats pathological clustering).
+package wspd
+
+import (
+	"fmt"
+
+	"treecode/internal/geom"
+	"treecode/internal/vec"
+)
+
+// Node is a fair-split tree node.
+type Node struct {
+	Box      geom.AABB // tight bounding box of the contents (collapsed)
+	Start    int       // point range [Start, End) in tree order
+	End      int
+	Children [2]*Node // nil for leaves
+	Center   vec.V3   // box center
+	Radius   float64  // half-diagonal of the tight box
+}
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return n.Children[0] == nil }
+
+// Count returns the number of points in n.
+func (n *Node) Count() int { return n.End - n.Start }
+
+// Pair is one well-separated cluster pair.
+type Pair struct {
+	A, B *Node
+}
+
+// Tree is a fair-split tree with its point permutation.
+type Tree struct {
+	Root   *Node
+	Points []vec.V3 // tree order
+	Perm   []int    // tree order -> original index
+	NNodes int
+}
+
+// Build constructs the fair-split tree over the points.
+func Build(pts []vec.V3) (*Tree, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("wspd: no points")
+	}
+	t := &Tree{
+		Points: append([]vec.V3(nil), pts...),
+		Perm:   make([]int, len(pts)),
+	}
+	for i := range t.Perm {
+		t.Perm[i] = i
+	}
+	t.Root = t.build(0, len(pts))
+	return t, nil
+}
+
+func (t *Tree) build(lo, hi int) *Node {
+	t.NNodes++
+	box := geom.Bound(t.Points[lo:hi])
+	n := &Node{Box: box, Start: lo, End: hi, Center: box.Center(), Radius: box.HalfDiagonal()}
+	if hi-lo <= 1 {
+		return n
+	}
+	// Fair split: midpoint of the longest side.
+	size := box.Size()
+	axis := 0
+	if size.Y > size.X && size.Y >= size.Z {
+		axis = 1
+	} else if size.Z > size.X && size.Z > size.Y {
+		axis = 2
+	}
+	mid := (component(box.Lo, axis) + component(box.Hi, axis)) / 2
+	// Partition in place.
+	i, j := lo, hi-1
+	for i <= j {
+		if component(t.Points[i], axis) <= mid {
+			i++
+		} else {
+			t.Points[i], t.Points[j] = t.Points[j], t.Points[i]
+			t.Perm[i], t.Perm[j] = t.Perm[j], t.Perm[i]
+			j--
+		}
+	}
+	// Guard against all points on one side (duplicates at the midpoint):
+	// force a nonempty split.
+	if i == lo {
+		i = lo + 1
+	} else if i == hi {
+		i = hi - 1
+	}
+	n.Children[0] = t.build(lo, i)
+	n.Children[1] = t.build(i, hi)
+	return n
+}
+
+func component(v vec.V3, axis int) float64 {
+	switch axis {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// separated reports whether a and b are s-well-separated: both fit in balls
+// of radius r whose centers are at least s*r apart (using r = max radius).
+func separated(a, b *Node, s float64) bool {
+	r := a.Radius
+	if b.Radius > r {
+		r = b.Radius
+	}
+	return a.Center.Dist(b.Center)-2*r >= s*r
+}
+
+// Decompose returns a well-separated pair decomposition with separation s.
+// Every unordered pair of distinct points is covered by exactly one pair.
+func (t *Tree) Decompose(s float64) []Pair {
+	if s <= 0 {
+		s = 2
+	}
+	var out []Pair
+	var findPairs func(a, b *Node)
+	findPairs = func(a, b *Node) {
+		if separated(a, b, s) {
+			out = append(out, Pair{a, b})
+			return
+		}
+		// Split the node with the larger radius.
+		if a.Radius < b.Radius || a.IsLeaf() {
+			a, b = b, a
+		}
+		if a.IsLeaf() {
+			// Both single points at zero distance (duplicates): emit anyway;
+			// callers must handle coincident points.
+			out = append(out, Pair{a, b})
+			return
+		}
+		findPairs(a.Children[0], b)
+		findPairs(a.Children[1], b)
+	}
+	var selfPairs func(n *Node)
+	selfPairs = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		selfPairs(n.Children[0])
+		selfPairs(n.Children[1])
+		findPairs(n.Children[0], n.Children[1])
+	}
+	selfPairs(t.Root)
+	return out
+}

@@ -1,0 +1,149 @@
+package wspd
+
+import (
+	"math/rand"
+	"testing"
+
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+func TestTreeInvariants(t *testing.T) {
+	set, _ := points.Generate(points.MultiGauss, 1000, 1)
+	tr, err := Build(set.Positions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 1000)
+	for _, p := range tr.Perm {
+		if seen[p] {
+			t.Fatal("perm repeats")
+		}
+		seen[p] = true
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for i := n.Start; i < n.End; i++ {
+			if !n.Box.Contains(tr.Points[i]) {
+				t.Fatal("point outside collapsed box")
+			}
+		}
+		if !n.IsLeaf() {
+			if n.Children[0].End != n.Children[1].Start ||
+				n.Children[0].Start != n.Start || n.Children[1].End != n.End {
+				t.Fatal("children do not partition parent")
+			}
+			if n.Children[0].Count() == 0 || n.Children[1].Count() == 0 {
+				t.Fatal("empty child")
+			}
+			walk(n.Children[0])
+			walk(n.Children[1])
+		} else if n.Count() != 1 {
+			t.Fatal("non-singleton leaf")
+		}
+	}
+	walk(tr.Root)
+}
+
+func TestDecompositionCoversAllPairsOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 120
+	pts := make([]vec.V3, n)
+	for i := range pts {
+		pts[i] = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := tr.Decompose(2)
+	counts := make(map[[2]int]int)
+	for _, p := range pairs {
+		for i := p.A.Start; i < p.A.End; i++ {
+			for j := p.B.Start; j < p.B.End; j++ {
+				a, b := tr.Perm[i], tr.Perm[j]
+				if a > b {
+					a, b = b, a
+				}
+				counts[[2]int{a, b}]++
+			}
+		}
+	}
+	want := n * (n - 1) / 2
+	if len(counts) != want {
+		t.Fatalf("covered %d distinct pairs, want %d", len(counts), want)
+	}
+	for k, c := range counts {
+		if c != 1 {
+			t.Fatalf("pair %v covered %d times", k, c)
+		}
+	}
+}
+
+func TestPairsAreSeparated(t *testing.T) {
+	set, _ := points.Generate(points.Gaussian, 500, 3)
+	tr, _ := Build(set.Positions())
+	const s = 2.0
+	for _, p := range tr.Decompose(s) {
+		if p.A.Count() == 1 && p.B.Count() == 1 {
+			continue // singleton fallback pairs are allowed to touch
+		}
+		r := p.A.Radius
+		if p.B.Radius > r {
+			r = p.B.Radius
+		}
+		if d := p.A.Center.Dist(p.B.Center); d-2*r < s*r-1e-12 {
+			t.Fatalf("pair not %v-separated: d=%v r=%v", s, d, r)
+		}
+	}
+}
+
+func TestLinearPairCount(t *testing.T) {
+	// O(n) pairs: growing n by 4x should grow pairs by roughly 4x, far
+	// below the 16x of all-pairs.
+	count := func(n int) int {
+		set, _ := points.Generate(points.Uniform, n, 4)
+		tr, _ := Build(set.Positions())
+		return len(tr.Decompose(2))
+	}
+	c1 := count(500)
+	c2 := count(2000)
+	g := float64(c2) / float64(c1)
+	if g > 7 {
+		t.Errorf("pair growth %v not linear", g)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]vec.V3, 20)
+	for i := range pts {
+		pts[i] = vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := tr.Decompose(2)
+	// All pairs must still be covered (20*19/2), via singleton fallbacks.
+	var covered int
+	for _, p := range pairs {
+		covered += p.A.Count() * p.B.Count()
+	}
+	if covered != 20*19/2 {
+		t.Fatalf("duplicate cloud covered %d pairs, want %d", covered, 190)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestDefaultSeparation(t *testing.T) {
+	set, _ := points.Generate(points.Uniform, 100, 5)
+	tr, _ := Build(set.Positions())
+	if len(tr.Decompose(0)) == 0 {
+		t.Fatal("default separation should produce pairs")
+	}
+}

@@ -1,0 +1,30 @@
+package treecode
+
+import (
+	"io"
+
+	"treecode/internal/meshio"
+	"treecode/internal/points"
+	"treecode/internal/vtk"
+)
+
+// ReadMeshOFF parses a triangle mesh in OFF format (polygon faces are
+// fan-triangulated).
+func ReadMeshOFF(r io.Reader) (*Mesh, error) { return meshio.ReadOFF(r) }
+
+// WriteMeshOFF writes a mesh in OFF format.
+func WriteMeshOFF(w io.Writer, m *Mesh) error { return meshio.WriteOFF(w, m) }
+
+// WriteParticlesVTK writes the particles (and optional per-particle scalar
+// and vector fields, e.g. computed potentials and fields) as a legacy-VTK
+// point cloud for ParaView/VisIt.
+func WriteParticlesVTK(w io.Writer, particles []Particle,
+	scalars map[string][]float64, vectors map[string][]Vec3) error {
+	return vtk.WriteParticles(w, &points.Set{Particles: particles}, scalars, vectors)
+}
+
+// WriteMeshVTK writes a mesh with optional per-vertex scalars (e.g. the
+// solved boundary density) as a legacy-VTK surface.
+func WriteMeshVTK(w io.Writer, m *Mesh, scalars map[string][]float64) error {
+	return vtk.WriteMesh(w, m, scalars)
+}

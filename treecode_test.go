@@ -1,0 +1,199 @@
+package treecode
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSystemEndToEnd(t *testing.T) {
+	parts, err := Generate(Uniform, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(parts, Config{Method: Adaptive, Degree: 5, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, st := sys.Potentials()
+	if len(phi) != 2000 || st.Terms == 0 {
+		t.Fatalf("potentials degenerate: len=%d stats=%+v", len(phi), st)
+	}
+	exact := sys.Direct()
+	if re := RelativeError(phi, exact); re > 1e-3 {
+		t.Fatalf("relative error %v", re)
+	}
+}
+
+func TestSystemFieldsAndTargets(t *testing.T) {
+	parts, _ := Generate(Gaussian, 800, 2)
+	sys, err := NewSystem(parts, Config{Degree: 6, Alpha: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, field, _ := sys.Fields()
+	if len(phi) != 800 || len(field) != 800 {
+		t.Fatal("Fields lengths wrong")
+	}
+	targets := []Vec3{{X: 3, Y: 3, Z: 3}}
+	pt, _ := sys.PotentialsAt(targets)
+	// Far away, potential ~ Q/r with Q = 1 (Generate normalizes).
+	r := targets[0].Sub(Vec3{X: 0.5, Y: 0.5, Z: 0.5}).Norm()
+	if math.Abs(pt[0]-1/r) > 0.02/r {
+		t.Fatalf("far potential %v, want ~%v", pt[0], 1/r)
+	}
+}
+
+func TestSystemSetCharges(t *testing.T) {
+	parts, _ := Generate(Uniform, 500, 3)
+	sys, err := NewSystem(parts, Config{Method: Adaptive, Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := sys.Potentials()
+	q := make([]float64, len(parts))
+	for i := range q {
+		q[i] = -parts[i].Charge
+	}
+	if err := sys.SetCharges(q); err != nil {
+		t.Fatal(err)
+	}
+	flipped, _ := sys.Potentials()
+	for i := range base {
+		if math.Abs(flipped[i]+base[i]) > 1e-12*(1+math.Abs(base[i])) {
+			t.Fatal("charge negation should negate potentials")
+		}
+	}
+	// Direct() must see the new charges too (treecode and reference stay
+	// consistent after SetCharges).
+	exact := sys.Direct()
+	if re := RelativeError(flipped, exact); re > 1e-3 {
+		t.Fatalf("Direct() out of sync after SetCharges: %v", re)
+	}
+}
+
+func TestSystemEnergy(t *testing.T) {
+	parts, _ := Generate(Uniform, 1000, 12)
+	sys, err := NewSystem(parts, Config{Degree: 6, Alpha: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, st := sys.Energy()
+	if st.Terms == 0 {
+		t.Fatal("no work recorded")
+	}
+	// Exact pairwise energy.
+	var want float64
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			want += parts[i].Charge * parts[j].Charge / parts[i].Pos.Dist(parts[j].Pos)
+		}
+	}
+	if math.Abs(u-want) > 1e-4*math.Abs(want) {
+		t.Fatalf("energy %v, want %v", u, want)
+	}
+}
+
+func TestFMMFacade(t *testing.T) {
+	parts, _ := Generate(Uniform, 1500, 4)
+	f, err := NewFMM(parts, FMMConfig{Degree: 6, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, st := f.Potentials()
+	if st.M2L == 0 {
+		t.Fatal("FMM did no M2L work")
+	}
+	sys, _ := NewSystem(parts, Config{Degree: 6, Alpha: 0.5})
+	if re := RelativeError(phi, sys.Direct()); re > 1e-3 {
+		t.Fatalf("FMM facade error %v", re)
+	}
+	// Fields and arbitrary targets through the facade.
+	_, field, _ := f.Fields()
+	if len(field) != len(parts) {
+		t.Fatal("FMM Fields length")
+	}
+	at, _, err := f.PotentialsAt([]Vec3{{X: 3, Y: 3, Z: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := sys.PotentialsAt([]Vec3{{X: 3, Y: 3, Z: 3}})
+	if math.Abs(at[0]-tc[0]) > 1e-4*(1+math.Abs(tc[0])) {
+		t.Fatalf("FMM and treecode disagree at target: %v vs %v", at[0], tc[0])
+	}
+}
+
+func TestSimulateSpeedupFacade(t *testing.T) {
+	parts, _ := Generate(Uniform, 4000, 5)
+	sys, err := NewSystem(parts, Config{Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.SimulateSpeedup(32, 64, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup < 5 || rep.Speedup > 32 {
+		t.Fatalf("speedup %v out of range", rep.Speedup)
+	}
+}
+
+func TestBoundaryFacade(t *testing.T) {
+	m := SphereMesh(1, 1, Vec3{})
+	bp, err := NewBoundaryProblem(m, BoundaryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, bp.N())
+	for i := range g {
+		g[i] = 1
+	}
+	res, err := bp.Solve(g, 1e-7, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("boundary solve did not converge: %v", res.Residual)
+	}
+	c := bp.TotalCharge(res.Density)
+	if math.Abs(c-1) > 0.06 {
+		t.Fatalf("unit sphere capacitance %v, want ~1", c)
+	}
+	// Apply vs ApplyExact agreement.
+	dst1 := make([]float64, bp.N())
+	dst2 := make([]float64, bp.N())
+	if _, err := bp.Apply(dst1, res.Density); err != nil {
+		t.Fatal(err)
+	}
+	bp.ApplyExact(dst2, res.Density)
+	if re := RelativeError(dst1, dst2); re > 1e-3 {
+		t.Fatalf("treecode product error %v", re)
+	}
+	// Bad input.
+	if _, err := bp.Solve(g[:3], 0, 0); err == nil {
+		t.Fatal("short boundary data should error")
+	}
+}
+
+func TestMeshGenerators(t *testing.T) {
+	if PropellerMesh(3, 1).NumTris() == 0 || GripperMesh(1).NumTris() == 0 {
+		t.Fatal("mesh generators empty")
+	}
+}
+
+func TestGenerateCharged(t *testing.T) {
+	parts, err := GenerateCharged(Shell, 100, 6, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q, a float64
+	for _, p := range parts {
+		q += p.Charge
+		a += math.Abs(p.Charge)
+	}
+	if math.Abs(q) > 1e-12 || math.Abs(a-4) > 1e-12 {
+		t.Fatalf("charges wrong: net %v abs %v", q, a)
+	}
+	if _, err := Generate(Distribution("nope"), 10, 1); err == nil {
+		t.Fatal("bad distribution should error")
+	}
+}
