@@ -27,16 +27,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
+	m := core.Original
+	if *method == "adaptive" {
+		m = core.Adaptive
+	}
+	cfg := core.Config{Method: m, Degree: *degree, Alpha: *alpha}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	set, err := points.GenerateCharged(points.Distribution(*dist), *n, *seed, float64(*n), false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	m := core.Original
-	if *method == "adaptive" {
-		m = core.Adaptive
-	}
-	e, err := core.New(set, core.Config{Method: m, Degree: *degree, Alpha: *alpha})
+	e, err := core.New(set, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -31,6 +31,11 @@ func main() {
 	blockSize := flag.Int("block", 48, "preconditioner block size")
 	flag.Parse()
 
+	if err := (core.Config{Degree: *degree, Alpha: *alpha}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	var m *mesh.Mesh
 	switch *surface {
 	case "sphere":

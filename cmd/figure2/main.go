@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"treecode/internal/cliio"
 	"treecode/internal/core"
 	"treecode/internal/direct"
 	"treecode/internal/points"
@@ -32,18 +33,18 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	if err := (core.Config{Degree: *degree, Alpha: *alpha}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
-	fmt.Fprintln(w, "n,abserr_original,abserr_adaptive,terms_original,terms_adaptive")
+	w, werr := cliio.Create(*out)
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		os.Exit(1)
+	}
+
+	fmt.Fprintln(w.W, "n,abserr_original,abserr_adaptive,terms_original,terms_adaptive")
 	for _, s := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
@@ -57,8 +58,12 @@ func main() {
 		}
 		errO, termsO := run(set, core.Original, *degree, *alpha, *sample, *exactMax, *seed)
 		errA, termsA := run(set, core.Adaptive, *degree, *alpha, *sample, *exactMax, *seed)
-		fmt.Fprintf(w, "%d,%s,%s,%d,%d\n", n,
+		fmt.Fprintf(w.W, "%d,%s,%s,%d,%d\n", n,
 			stats.FormatFloat(errO), stats.FormatFloat(errA), termsO, termsA)
+	}
+	if err := w.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "figure2: writing %s: %v\n", w.Name(), err)
+		os.Exit(1)
 	}
 }
 

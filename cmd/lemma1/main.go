@@ -27,13 +27,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
+	alphaList := splitFloats(*alphas)
+	for _, alpha := range alphaList {
+		if err := (core.Config{Degree: 2, Alpha: alpha}).Validate(); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
 	set, err := points.Generate(points.Distribution(*dist), *n, *seed)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-
-	alphaList := splitFloats(*alphas)
 
 	tb := stats.NewTable("alpha", "d/s min", "d/s max", "Lemma1 lo", "Lemma1 hi",
 		"maxPerSize", "K(alpha)")

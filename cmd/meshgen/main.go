@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"treecode/internal/cliio"
 	"treecode/internal/mesh"
 	"treecode/internal/meshio"
 	"treecode/internal/vec"
@@ -36,24 +37,21 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d elements, %d nodes\n", *surface, m.NumTris(), m.NumVerts())
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	w, err := cliio.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	var err error
 	switch *format {
 	case "off":
-		err = meshio.WriteOFF(w, m)
+		err = meshio.WriteOFF(w.W, m)
 	case "vtk":
-		err = vtk.WriteMesh(w, m, nil)
+		err = vtk.WriteMesh(w.W, m, nil)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if cerr := w.Close(); err == nil {
+		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -31,16 +31,20 @@ func main() {
 	dt := flag.Float64("dt", 1e-3, "timestep for -steps")
 	flag.Parse()
 
-	set, err := points.Generate(points.Distribution(*dist), *n, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 	m := core.Original
 	if *method == "adaptive" {
 		m = core.Adaptive
 	}
 	cfg := core.Config{Method: m, Degree: *degree, Alpha: *alpha, LeafCap: *leafCap, Workers: *workers}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	set, err := points.Generate(points.Distribution(*dist), *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *steps > 0 {
 		s, err := sim.New(sim.State{Set: set, Vel: make([]vec.V3, set.N())}, sim.Config{

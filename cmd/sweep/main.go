@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"treecode/internal/cliio"
 	"treecode/internal/core"
 	"treecode/internal/direct"
 	"treecode/internal/points"
@@ -27,18 +28,23 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	degs, alphaVals := splitInts(*degrees), splitFloats(*alphas)
+	for _, deg := range degs {
+		for _, alpha := range alphaVals {
+			if err := (core.Config{Degree: deg, Alpha: alpha}).Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
-		defer f.Close()
-		w = f
 	}
 
-	fmt.Fprintln(w, "dist,n,method,degree,alpha,relerr,abserr,terms,pc,pp,maxdegree,evalms")
+	w, werr := cliio.Create(*out)
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		os.Exit(1)
+	}
+
+	fmt.Fprintln(w.W, "dist,n,method,degree,alpha,relerr,abserr,terms,pc,pp,maxdegree,evalms")
 	for _, ns := range splitInts(*sizes) {
 		totalAbs := 1.0
 		if *unitCharge {
@@ -55,15 +61,15 @@ func main() {
 			if strings.TrimSpace(method) == "adaptive" {
 				m = core.Adaptive
 			}
-			for _, deg := range splitInts(*degrees) {
-				for _, alpha := range splitFloats(*alphas) {
+			for _, deg := range degs {
+				for _, alpha := range alphaVals {
 					e, err := core.New(set, core.Config{Method: m, Degree: deg, Alpha: alpha})
 					if err != nil {
 						fmt.Fprintln(os.Stderr, err)
 						continue
 					}
 					phi, st := e.Potentials()
-					fmt.Fprintf(w, "%s,%d,%s,%d,%g,%s,%s,%d,%d,%d,%d,%.1f\n",
+					fmt.Fprintf(w.W, "%s,%d,%s,%d,%g,%s,%s,%d,%d,%d,%d,%.1f\n",
 						*dist, ns, m, deg, alpha,
 						stats.FormatFloat(stats.RelErr2(phi, exact)),
 						stats.FormatFloat(stats.MeanAbsErr(phi, exact)),
@@ -72,6 +78,10 @@ func main() {
 				}
 			}
 		}
+	}
+	if err := w.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: writing %s: %v\n", w.Name(), err)
+		os.Exit(1)
 	}
 }
 

@@ -40,6 +40,11 @@ func main() {
 	refq := flag.Float64("refq", 0, "Theorem 3 reference-cluster quantile (0 = theorem's minimum)")
 	flag.Parse()
 
+	if err := (core.Config{Degree: *degree, Alpha: *alpha, RefQuantile: *refq}).Validate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
 	for _, d := range strings.Split(*dists, ",") {
 		dist := points.Distribution(strings.TrimSpace(d))
 		fmt.Printf("== Table 1: %s distribution (degree %d, alpha %g, unit charges) ==\n",

@@ -35,6 +35,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
+	if err := (core.Config{Degree: *degree, Alpha: *alpha, ChunkSize: *w}).Validate(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
 	type workload struct {
 		name string
 		dist points.Distribution

@@ -32,6 +32,11 @@ func main() {
 	gmres := flag.Bool("gmres", true, "also run a GMRES(10) solve with the improved method")
 	flag.Parse()
 
+	if err := (core.Config{Degree: *refDegree, Alpha: *alpha}).Validate(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
 	type surf struct {
 		name string
 		m    *mesh.Mesh

@@ -1,0 +1,106 @@
+// Command treelint runs the repository's static-analysis suite
+// (internal/lint) over the requested packages and reports findings as
+//
+//	file:line:col: [rule] message
+//
+// It exits 0 when the tree is clean, 1 when there are findings, and 2 on
+// usage or load errors. Suppressions (`//lint:ignore <rule> <reason>`)
+// are honored and counted in the summary. With -json the findings and
+// suppression counts are emitted as a single JSON object on stdout.
+//
+// Usage:
+//
+//	go run ./cmd/treelint ./...
+//	go run ./cmd/treelint -json ./internal/core ./internal/fmm
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"treecode/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	flag.Usage = func() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "usage: treelint [-json] [-rules r1,r2] [packages]\n\nRules:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(&b, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprint(os.Stderr, b.String())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treelint:", err)
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treelint:", err)
+		os.Exit(2)
+	}
+	dirs, err := lint.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treelint:", err)
+		os.Exit(2)
+	}
+	sum, err := lint.LintDirs(cwd, dirs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treelint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintln(os.Stderr, "treelint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range sum.Findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintln(os.Stderr, sum)
+	}
+	if len(sum.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if rules == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, r := range strings.Split(rules, ",") {
+		if r = strings.TrimSpace(r); r == "" {
+			continue
+		}
+		a, ok := byName[r]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q", r)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -54,10 +54,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	if err := treecode.WriteParticlesVTK(f, parts,
 		map[string][]float64{"potential": phi},
 		map[string][]treecode.Vec3{"field": field}); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote protein.vtk (charge, potential, field per site)")

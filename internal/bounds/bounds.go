@@ -132,7 +132,7 @@ func NewDegreeSelector(alpha float64, pMin, pMax int, aRef, sRef float64) *Degre
 //
 // clamped to [PMin, PMax]. Clusters no heavier than the reference keep PMin.
 func (d *DegreeSelector) Degree(A, s float64) int {
-	if A <= 0 || s <= 0 || d.ARef <= 0 || d.SRef <= 0 {
+	if A <= 0 || s <= 0 || d.ARef <= 0 || d.SRef <= 0 || d.Alpha <= 0 || d.Alpha >= 1 {
 		return d.PMin
 	}
 	ratio := (A / d.ARef) * (d.SRef / s)
@@ -156,6 +156,9 @@ func (d *DegreeSelector) Degree(A, s float64) int {
 //
 //	c = ln(4) / ln(1/alpha).
 func UniformGrowthPerLevel(alpha float64) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		return math.NaN()
+	}
 	return math.Log(4) / math.Log(1/alpha)
 }
 

@@ -114,6 +114,32 @@ func (c *Config) fill() {
 	}
 }
 
+// Validate checks the configuration after defaults are applied: the
+// alpha-criterion needs 0 < Alpha < 1, degrees must be non-negative with
+// MaxDegree >= Degree, sizes must be positive, Workers non-negative, and
+// RefQuantile in [0, 1]. New validates automatically; command-line drivers
+// call this early to reject bad flag values before any work is done.
+func (c Config) Validate() error {
+	c.fill()
+	switch {
+	case c.Alpha <= 0 || c.Alpha >= 1:
+		return fmt.Errorf("core: alpha must be in (0,1), got %v", c.Alpha)
+	case c.Degree < 0:
+		return fmt.Errorf("core: negative degree %d", c.Degree)
+	case c.MaxDegree < c.Degree:
+		return fmt.Errorf("core: max degree %d below degree %d", c.MaxDegree, c.Degree)
+	case c.LeafCap <= 0:
+		return fmt.Errorf("core: leaf capacity must be positive, got %d", c.LeafCap)
+	case c.ChunkSize <= 0:
+		return fmt.Errorf("core: chunk size must be positive, got %d", c.ChunkSize)
+	case c.Workers < 0:
+		return fmt.Errorf("core: negative worker count %d", c.Workers)
+	case c.RefQuantile < 0 || c.RefQuantile > 1:
+		return fmt.Errorf("core: reference quantile must be in [0,1], got %v", c.RefQuantile)
+	}
+	return nil
+}
+
 // Stats aggregates the cost and accuracy instrumentation of one evaluation.
 type Stats struct {
 	Terms       int64   // multipole series terms evaluated: sum (p+1)^2, the paper's metric
@@ -153,11 +179,8 @@ type Evaluator struct {
 // multipole pass.
 func New(set *points.Set, cfg Config) (*Evaluator, error) {
 	cfg.fill()
-	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
-		return nil, fmt.Errorf("core: alpha must be in (0,1), got %v", cfg.Alpha)
-	}
-	if cfg.Degree < 0 {
-		return nil, fmt.Errorf("core: negative degree %d", cfg.Degree)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	build := tree.Build
@@ -274,12 +297,19 @@ func (e *Evaluator) BuildTime() time.Duration { return e.buildT }
 // Potentials returns the potential at every particle (self-interaction
 // excluded), in the original particle order, along with evaluation stats.
 func (e *Evaluator) Potentials() ([]float64, *Stats) {
+	return e.PotentialsWithWorkers(e.Cfg.Workers)
+}
+
+// PotentialsWithWorkers is Potentials with an explicit worker count for
+// this call only (0 means GOMAXPROCS). It does not mutate the evaluator,
+// so concurrent calls with different worker counts are safe.
+func (e *Evaluator) PotentialsWithWorkers(workers int) ([]float64, *Stats) {
 	t := e.Tree
 	n := len(t.Pos)
 	out := make([]float64, n)
 	stats := e.newStats()
 	start := time.Now()
-	e.parallelChunks(n, func(lo, hi int, w *worker) {
+	e.parallelChunks(n, workers, func(lo, hi int, w *worker) {
 		for i := lo; i < hi; i++ {
 			out[t.Perm[i]] = w.potential(t.Pos[i], i)
 		}
@@ -294,7 +324,7 @@ func (e *Evaluator) PotentialsAt(targets []vec.V3) ([]float64, *Stats) {
 	out := make([]float64, len(targets))
 	stats := e.newStats()
 	start := time.Now()
-	e.parallelChunks(len(targets), func(lo, hi int, w *worker) {
+	e.parallelChunks(len(targets), e.Cfg.Workers, func(lo, hi int, w *worker) {
 		for i := lo; i < hi; i++ {
 			out[i] = w.potential(targets[i], -1)
 		}
@@ -312,7 +342,7 @@ func (e *Evaluator) Fields() ([]float64, []vec.V3, *Stats) {
 	field := make([]vec.V3, n)
 	stats := e.newStats()
 	start := time.Now()
-	e.parallelChunks(n, func(lo, hi int, w *worker) {
+	e.parallelChunks(n, e.Cfg.Workers, func(lo, hi int, w *worker) {
 		for i := lo; i < hi; i++ {
 			p, f := w.field(t.Pos[i], i)
 			phi[t.Perm[i]] = p
@@ -357,10 +387,9 @@ func (e *Evaluator) newWorker() *worker {
 	return &worker{e: e, buf: make([]complex128, harmonics.Len(maxP+1))}
 }
 
-// parallelChunks runs body over [0,n) in ChunkSize blocks on Workers
-// goroutines and merges per-worker stats.
-func (e *Evaluator) parallelChunks(n int, body func(lo, hi int, w *worker), stats *Stats) {
-	workers := e.Cfg.Workers
+// parallelChunks runs body over [0,n) in ChunkSize blocks on the given
+// number of goroutines and merges per-worker stats.
+func (e *Evaluator) parallelChunks(n, workers int, body func(lo, hi int, w *worker), stats *Stats) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -415,6 +444,9 @@ func (w *worker) potential(x vec.V3, self int) float64 {
 	return w.walk(w.e.Tree.Root, x, self)
 }
 
+// walk accumulates the treecode potential over the subtree at n.
+//
+//treecode:hot
 func (w *worker) walk(n *tree.Node, x vec.V3, self int) float64 {
 	e := w.e
 	if e.Cfg.MAC.Accept(x, n) {
@@ -455,6 +487,9 @@ func (w *worker) field(x vec.V3, self int) (float64, vec.V3) {
 	return w.walkField(w.e.Tree.Root, x, self)
 }
 
+// walkField accumulates potential and field over the subtree at n.
+//
+//treecode:hot
 func (w *worker) walkField(n *tree.Node, x vec.V3, self int) (float64, vec.V3) {
 	e := w.e
 	if e.Cfg.MAC.Accept(x, n) {

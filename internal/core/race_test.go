@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"treecode/internal/points"
+)
+
+// raceSet builds a small deterministic workload for the -race exercises:
+// small enough to stay fast under the race detector, large enough that the
+// parallel chunk scheduler actually hands work to several goroutines.
+func raceSet(t *testing.T) *points.Set {
+	t.Helper()
+	set, err := points.Generate(points.Uniform, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestPotentialsRace exercises one evaluator from concurrent goroutines,
+// each running a multi-worker evaluation. Run with -race; the results must
+// also be bit-identical because workers only write disjoint output slots.
+func TestPotentialsRace(t *testing.T) {
+	set := raceSet(t)
+	e, err := New(set, Config{Method: Adaptive, Degree: 3, Alpha: 0.5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := e.Potentials()
+
+	const callers = 4
+	results := make([][]float64, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			phi, _ := e.Potentials()
+			results[c] = phi
+		}(c)
+	}
+	wg.Wait()
+	for c, phi := range results {
+		if len(phi) != len(ref) {
+			t.Fatalf("caller %d: %d potentials, want %d", c, len(phi), len(ref))
+		}
+		for i := range phi {
+			if phi[i] != ref[i] {
+				t.Fatalf("caller %d: phi[%d] = %g differs from serial reference %g", c, i, phi[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFieldsRace exercises concurrent Fields evaluations on one evaluator.
+func TestFieldsRace(t *testing.T) {
+	set := raceSet(t)
+	e, err := New(set, Config{Method: Original, Degree: 3, Alpha: 0.5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for c := 0; c < 3; c++ {
+		go func() {
+			defer wg.Done()
+			phi, field, _ := e.Fields()
+			if len(phi) != set.N() || len(field) != set.N() {
+				t.Errorf("short result: %d/%d", len(phi), len(field))
+			}
+		}()
+	}
+	wg.Wait()
+}

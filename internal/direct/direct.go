@@ -17,6 +17,8 @@ import (
 // SelfPotentials returns phi_i = sum_{j != i} q_j / |x_i - x_j| for every
 // particle, excluding self-interaction, computed with workers goroutines
 // (0 means GOMAXPROCS).
+//
+//treecode:hot
 func SelfPotentials(set *points.Set, workers int) []float64 {
 	n := set.N()
 	out := make([]float64, n)
@@ -36,6 +38,8 @@ func SelfPotentials(set *points.Set, workers int) []float64 {
 
 // Potentials returns the potential due to sources at each target point
 // (no self-exclusion; targets are assumed distinct from sources).
+//
+//treecode:hot
 func Potentials(sources []points.Particle, targets []vec.V3, workers int) []float64 {
 	out := make([]float64, len(targets))
 	parallelFor(len(targets), workers, func(i int) {
@@ -50,6 +54,8 @@ func Potentials(sources []points.Particle, targets []vec.V3, workers int) []floa
 
 // SelfFields returns, for every particle, the potential and the field
 // E_i = -grad phi_i = sum_{j != i} q_j (x_i - x_j)/|x_i - x_j|^3.
+//
+//treecode:hot
 func SelfFields(set *points.Set, workers int) (phi []float64, field []vec.V3) {
 	n := set.N()
 	phi = make([]float64, n)

@@ -1,0 +1,63 @@
+package direct
+
+import (
+	"sync"
+	"testing"
+
+	"treecode/internal/points"
+)
+
+// TestDirectRace exercises the parallel direct sums from concurrent
+// callers with multiple workers each (run with -race). The chunked
+// scheduler writes disjoint output slots, so results are deterministic.
+func TestDirectRace(t *testing.T) {
+	set, err := points.Generate(points.Uniform, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := SelfPotentials(set, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for c := 0; c < 3; c++ {
+		go func() {
+			defer wg.Done()
+			phi := SelfPotentials(set, 4)
+			for i := range phi {
+				if phi[i] != ref[i] {
+					t.Errorf("phi[%d] = %g differs from serial %g", i, phi[i], ref[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFieldsAndTargetsRace runs SelfFields and Potentials concurrently.
+func TestFieldsAndTargetsRace(t *testing.T) {
+	set, err := points.Generate(points.Gaussian, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := set.Positions()[:50]
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for c := 0; c < 2; c++ {
+		go func() {
+			defer wg.Done()
+			phi, field := SelfFields(set, 4)
+			if len(phi) != set.N() || len(field) != set.N() {
+				t.Errorf("short SelfFields result")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			phi := Potentials(set.Particles, targets, 4)
+			if len(phi) != len(targets) {
+				t.Errorf("short Potentials result")
+			}
+		}()
+	}
+	wg.Wait()
+}

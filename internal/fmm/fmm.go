@@ -71,6 +71,26 @@ func (c *Config) fill() {
 	}
 }
 
+// Validate mirrors core.Config.Validate for the FMM configuration: it
+// checks ranges after defaults are applied. New validates automatically;
+// drivers call it early to reject bad flag values.
+func (c Config) Validate() error {
+	c.fill()
+	switch {
+	case c.Alpha <= 0 || c.Alpha >= 1:
+		return fmt.Errorf("fmm: alpha must be in (0,1), got %v", c.Alpha)
+	case c.Degree < 0:
+		return fmt.Errorf("fmm: negative degree %d", c.Degree)
+	case c.MaxDegree < c.Degree:
+		return fmt.Errorf("fmm: max degree %d below degree %d", c.MaxDegree, c.Degree)
+	case c.LeafCap <= 0:
+		return fmt.Errorf("fmm: leaf capacity must be positive, got %d", c.LeafCap)
+	case c.Workers < 0:
+		return fmt.Errorf("fmm: negative worker count %d", c.Workers)
+	}
+	return nil
+}
+
 // Stats counts the work of one FMM evaluation.
 type Stats struct {
 	M2L        int64 // multipole-to-local conversions
@@ -83,23 +103,32 @@ type Stats struct {
 	TreeNodes  int
 }
 
-// Evaluator is a constructed FMM ready to evaluate potentials.
+// Evaluator is a constructed FMM ready to evaluate potentials. After New
+// returns, the evaluator is immutable, so concurrent Potentials calls are
+// safe: all per-evaluation state lives in a sweep.
 type Evaluator struct {
 	Cfg  Config
 	Tree *tree.Tree
 
 	upDegree map[*tree.Node]int
+	buildT   time.Duration
+}
+
+// sweep is the mutable state of one Potentials call (task lists from the
+// dual-tree traversal and the accumulated local expansions), kept per-call
+// so concurrent evaluations on one Evaluator do not share maps.
+type sweep struct {
+	e        *Evaluator
 	locals   map[*tree.Node]*multipole.Local
 	m2lTasks map[*tree.Node][]*tree.Node
 	p2pTasks map[*tree.Node][]*tree.Node
-	buildT   time.Duration
 }
 
 // New builds the tree, selects degrees and runs the upward pass.
 func New(set *points.Set, cfg Config) (*Evaluator, error) {
 	cfg.fill()
-	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
-		return nil, fmt.Errorf("fmm: alpha must be in (0,1), got %v", cfg.Alpha)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	tr, err := tree.Build(set, tree.Config{LeafCap: cfg.LeafCap})
@@ -184,13 +213,16 @@ func (e *Evaluator) Potentials() ([]float64, *Stats) {
 	// P2P task lists. Phase 2/3 (parallel): execute them — each target
 	// node's local expansion and each target leaf's direct sums are
 	// independent, so results are bit-identical for any worker count.
-	e.locals = make(map[*tree.Node]*multipole.Local, t.NNodes)
-	e.m2lTasks = make(map[*tree.Node][]*tree.Node)
-	e.p2pTasks = make(map[*tree.Node][]*tree.Node)
-	e.traverse(t.Root, t.Root, st)
-	e.runM2L(st)
-	e.runP2P(out, st)
-	e.downward(t.Root, nil, out, st)
+	s := &sweep{
+		e:        e,
+		locals:   make(map[*tree.Node]*multipole.Local, t.NNodes),
+		m2lTasks: make(map[*tree.Node][]*tree.Node),
+		p2pTasks: make(map[*tree.Node][]*tree.Node),
+	}
+	s.traverse(t.Root, t.Root, st)
+	s.runM2L(st)
+	s.runP2P(out, st)
+	s.downward(t.Root, nil, out, st)
 
 	st.EvalTime = time.Since(start)
 	// Permute back to original order.
@@ -208,9 +240,9 @@ func (e *Evaluator) separated(a, b *tree.Node) bool {
 }
 
 // traverse pairs target node a with source node b, collecting tasks.
-func (e *Evaluator) traverse(a, b *tree.Node, st *Stats) {
-	if a != b && e.separated(a, b) {
-		e.m2lTasks[a] = append(e.m2lTasks[a], b)
+func (s *sweep) traverse(a, b *tree.Node, st *Stats) {
+	if a != b && s.e.separated(a, b) {
+		s.m2lTasks[a] = append(s.m2lTasks[a], b)
 		st.M2L++
 		st.M2LTerms += multipole.Terms(b.Degree)
 		return
@@ -218,18 +250,18 @@ func (e *Evaluator) traverse(a, b *tree.Node, st *Stats) {
 	aLeaf, bLeaf := a.IsLeaf(), b.IsLeaf()
 	switch {
 	case aLeaf && bLeaf:
-		e.p2pTasks[a] = append(e.p2pTasks[a], b)
+		s.p2pTasks[a] = append(s.p2pTasks[a], b)
 		st.P2P += int64(a.Count()) * int64(b.Count())
 		if a == b {
 			st.P2P -= int64(a.Count())
 		}
 	case bLeaf || (!aLeaf && a.Radius >= b.Radius):
 		for _, c := range a.Children {
-			e.traverse(c, b, st)
+			s.traverse(c, b, st)
 		}
 	default:
 		for _, c := range b.Children {
-			e.traverse(a, c, st)
+			s.traverse(a, c, st)
 		}
 	}
 }
@@ -237,11 +269,12 @@ func (e *Evaluator) traverse(a, b *tree.Node, st *Stats) {
 // runM2L executes all multipole-to-local conversions, one goroutine per
 // chunk of target nodes (each target's local is touched by exactly one
 // task list, so no synchronization on the expansions is needed).
-func (e *Evaluator) runM2L(st *Stats) {
-	targets := make([]*tree.Node, 0, len(e.m2lTasks))
+func (s *sweep) runM2L(st *Stats) {
+	e := s.e
+	targets := make([]*tree.Node, 0, len(s.m2lTasks))
 	// Deterministic order: tree order by Start index, ties by level.
 	e.Tree.Walk(func(n *tree.Node) {
-		if len(e.m2lTasks[n]) > 0 {
+		if len(s.m2lTasks[n]) > 0 {
 			targets = append(targets, n)
 		}
 	})
@@ -249,11 +282,11 @@ func (e *Evaluator) runM2L(st *Stats) {
 	e.parallelOver(len(targets), func(i int) {
 		a := targets[i]
 		la := multipole.NewLocal(a.Center, a.Degree)
-		for _, b := range e.m2lTasks[a] {
+		for _, b := range s.m2lTasks[a] {
 			la.Add(b.Mp.M2L(a.Center, la.Degree))
 		}
 		mu.Lock()
-		e.locals[a] = la
+		s.locals[a] = la
 		mu.Unlock()
 	})
 	_ = st
@@ -261,11 +294,12 @@ func (e *Evaluator) runM2L(st *Stats) {
 
 // runP2P executes all near-field direct sums, one target leaf at a time
 // (out slots of distinct leaves are disjoint).
-func (e *Evaluator) runP2P(out []float64, st *Stats) {
+func (s *sweep) runP2P(out []float64, st *Stats) {
+	e := s.e
 	t := e.Tree
-	leaves := make([]*tree.Node, 0, len(e.p2pTasks))
+	leaves := make([]*tree.Node, 0, len(s.p2pTasks))
 	e.Tree.Walk(func(n *tree.Node) {
-		if len(e.p2pTasks[n]) > 0 {
+		if len(s.p2pTasks[n]) > 0 {
 			leaves = append(leaves, n)
 		}
 	})
@@ -274,7 +308,7 @@ func (e *Evaluator) runP2P(out []float64, st *Stats) {
 		for i := a.Start; i < a.End; i++ {
 			xi := t.Pos[i]
 			var phi float64
-			for _, b := range e.p2pTasks[a] {
+			for _, b := range s.p2pTasks[a] {
 				for j := b.Start; j < b.End; j++ {
 					if i == j {
 						continue
@@ -327,8 +361,8 @@ func (e *Evaluator) parallelOver(n int, f func(int)) {
 
 // downward pushes local expansions to children and evaluates them at leaf
 // particles.
-func (e *Evaluator) downward(n *tree.Node, inherited *multipole.Local, out []float64, st *Stats) {
-	l := e.locals[n]
+func (s *sweep) downward(n *tree.Node, inherited *multipole.Local, out []float64, st *Stats) {
+	l := s.locals[n]
 	if inherited != nil {
 		shifted := inherited.Translate(n.Center, n.Degree)
 		if l == nil {
@@ -339,7 +373,7 @@ func (e *Evaluator) downward(n *tree.Node, inherited *multipole.Local, out []flo
 	}
 	if n.IsLeaf() {
 		if l != nil {
-			t := e.Tree
+			t := s.e.Tree
 			for i := n.Start; i < n.End; i++ {
 				out[i] += l.Evaluate(t.Pos[i])
 			}
@@ -347,7 +381,7 @@ func (e *Evaluator) downward(n *tree.Node, inherited *multipole.Local, out []flo
 		return
 	}
 	for _, c := range n.Children {
-		e.downward(c, l, out, st)
+		s.downward(c, l, out, st)
 	}
 }
 

@@ -1,0 +1,83 @@
+package fmm
+
+import (
+	"sync"
+	"testing"
+
+	"treecode/internal/core"
+	"treecode/internal/points"
+)
+
+// TestPotentialsRace exercises one FMM evaluator from concurrent
+// goroutines with a multi-worker configuration. All per-evaluation state
+// (task lists, local expansions) lives in a per-call sweep, so concurrent
+// calls must neither race (run with -race) nor perturb each other's
+// results.
+func TestPotentialsRace(t *testing.T) {
+	set, err := points.Generate(points.MultiGauss, 600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(set, Config{Method: core.Adaptive, Degree: 3, Alpha: 0.5, Workers: 4, LeafCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := e.Potentials()
+
+	const callers = 4
+	results := make([][]float64, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			phi, _ := e.Potentials()
+			results[c] = phi
+		}(c)
+	}
+	wg.Wait()
+	for c, phi := range results {
+		for i := range phi {
+			if phi[i] != ref[i] {
+				t.Fatalf("caller %d: phi[%d] = %g differs from reference %g", c, i, phi[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFieldsAndTargetsRace runs the other two evaluation entry points
+// concurrently on one evaluator.
+func TestFieldsAndTargetsRace(t *testing.T) {
+	set, err := points.Generate(points.Uniform, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(set, Config{Degree: 3, Alpha: 0.5, Workers: 4, LeafCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := set.Positions()[:100]
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for c := 0; c < 2; c++ {
+		go func() {
+			defer wg.Done()
+			phi, field, _ := e.Fields()
+			if len(phi) != set.N() || len(field) != set.N() {
+				t.Errorf("short Fields result: %d/%d", len(phi), len(field))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			phi, _, err := e.PotentialsAt(targets)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(phi) != len(targets) {
+				t.Errorf("short PotentialsAt result: %d", len(phi))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -21,16 +21,19 @@ func (e *Evaluator) Fields() (phi []float64, field []vec.V3, st *Stats) {
 	st = &Stats{TreeHeight: t.Height, TreeNodes: t.NNodes, BuildTime: e.buildT}
 	start := time.Now()
 
-	e.locals = make(map[*tree.Node]*multipole.Local, t.NNodes)
-	e.m2lTasks = make(map[*tree.Node][]*tree.Node)
-	e.p2pTasks = make(map[*tree.Node][]*tree.Node)
-	e.traverse(t.Root, t.Root, st)
-	e.runM2L(st)
+	s := &sweep{
+		e:        e,
+		locals:   make(map[*tree.Node]*multipole.Local, t.NNodes),
+		m2lTasks: make(map[*tree.Node][]*tree.Node),
+		p2pTasks: make(map[*tree.Node][]*tree.Node),
+	}
+	s.traverse(t.Root, t.Root, st)
+	s.runM2L(st)
 
 	// Near field with forces.
-	leaves := make([]*tree.Node, 0, len(e.p2pTasks))
+	leaves := make([]*tree.Node, 0, len(s.p2pTasks))
 	t.Walk(func(nd *tree.Node) {
-		if len(e.p2pTasks[nd]) > 0 {
+		if len(s.p2pTasks[nd]) > 0 {
 			leaves = append(leaves, nd)
 		}
 	})
@@ -40,7 +43,7 @@ func (e *Evaluator) Fields() (phi []float64, field []vec.V3, st *Stats) {
 			xi := t.Pos[i]
 			var p float64
 			var f vec.V3
-			for _, b := range e.p2pTasks[a] {
+			for _, b := range s.p2pTasks[a] {
 				for j := b.Start; j < b.End; j++ {
 					if i == j {
 						continue
@@ -63,7 +66,7 @@ func (e *Evaluator) Fields() (phi []float64, field []vec.V3, st *Stats) {
 	// Far field: locals flow down and evaluate with gradients.
 	var down func(n *tree.Node, inherited *multipole.Local)
 	down = func(n *tree.Node, inherited *multipole.Local) {
-		l := e.locals[n]
+		l := s.locals[n]
 		if inherited != nil {
 			shifted := inherited.Translate(n.Center, n.Degree)
 			if l == nil {

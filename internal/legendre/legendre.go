@@ -17,10 +17,13 @@ func P(n, m int, x float64) float64 {
 	if m < 0 || m > n {
 		panic("legendre: need 0 <= m <= n")
 	}
-	// P_m^m = (-1)^m (2m-1)!! (1-x^2)^{m/2}.
+	// P_m^m = (-1)^m (2m-1)!! (1-x^2)^{m/2}. The radicand is clamped at 0:
+	// x = cos(theta) computed in floating point can land just outside
+	// [-1, 1], and a rounding-negative radicand would poison the whole
+	// expansion with NaN.
 	pmm := 1.0
 	if m > 0 {
-		s := math.Sqrt((1 - x) * (1 + x))
+		s := math.Sqrt(math.Max(0, (1-x)*(1+x)))
 		f := 1.0
 		for i := 1; i <= m; i++ {
 			pmm *= -f * s
@@ -48,7 +51,7 @@ func P(n, m int, x float64) float64 {
 // The returned slice has TableLen(p) entries.
 func Table(p int, x float64) []float64 {
 	t := make([]float64, TableLen(p))
-	s := math.Sqrt((1 - x) * (1 + x))
+	s := math.Sqrt(math.Max(0, (1-x)*(1+x))) // clamp: x may round outside [-1, 1]
 	t[0] = 1
 	for m := 0; m <= p; m++ {
 		im := Idx(m, m)

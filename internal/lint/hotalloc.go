@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotMarker annotates a function whose body is an inner evaluation loop:
+// the per-target tree walks, the expansion evaluations, the direct sums.
+// Place it in the function's doc comment:
+//
+//	// walk evaluates the treecode potential at x.
+//	//
+//	//treecode:hot
+//	func (w *worker) walk(...) ...
+const hotMarker = "//treecode:hot"
+
+// HotAlloc flags per-call allocations inside functions annotated
+// //treecode:hot: fmt.Sprintf/Errorf-style formatting, interface boxing
+// of concrete values (each conversion may heap-allocate), and append to
+// slices created without capacity in the same function. These are the
+// inner loops the paper's serial cost metric counts; an allocation per
+// interaction turns an O(n log n) evaluation into a GC benchmark.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocations inside //treecode:hot functions",
+	Run:  runHotAlloc,
+}
+
+var hotFmtFuncs = map[string]bool{
+	"fmt.Sprintf": true, "fmt.Sprint": true, "fmt.Sprintln": true,
+	"fmt.Errorf": true, "fmt.Fprintf": true, "fmt.Fprint": true, "fmt.Fprintln": true,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) {
+				return true
+			}
+			checkHotFunc(p, fd)
+			return false // nested FuncLits are covered by checkHotFunc
+		})
+	}
+}
+
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+	preallocated := collectPreallocated(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := qualifiedName(p, call.Fun)
+		if hotFmtFuncs[name] {
+			p.Report(call.Pos(), "%s allocates on every call in a //treecode:hot function", name)
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if target, ok := unparen(call.Args[0]).(*ast.Ident); ok {
+				if dest, isLocal := localSliceOrigin(fd, target.Name); isLocal && !preallocated[target.Name] {
+					p.Report(call.Pos(), "append to %s, which is %s without capacity, reallocates as it grows in a //treecode:hot function; preallocate with make(..., 0, cap)", target.Name, dest)
+				}
+			}
+			return true
+		}
+		checkBoxing(p, call)
+		return true
+	})
+}
+
+// checkBoxing reports concrete values passed where an interface is
+// expected (including variadic ...any), each of which may heap-allocate.
+func checkBoxing(p *Pass, call *ast.CallExpr) {
+	sig := callSignature(p, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing a slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if sl, ok := pt.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := p.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		p.Report(arg.Pos(), "%s boxed into interface %s on every call in a //treecode:hot function", render(arg), pt.String())
+	}
+}
+
+// callSignature resolves the signature of the callee, or nil for builtins
+// and type conversions.
+func callSignature(p *Pass, call *ast.CallExpr) *types.Signature {
+	t := p.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}
+
+// localSliceOrigin reports whether name is a slice defined inside fd, and
+// a description of how it was created.
+func localSliceOrigin(fd *ast.FuncDecl, name string) (string, bool) {
+	origin, found := "", false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != name || i >= len(s.Rhs) {
+					continue
+				}
+				origin, found = describeSliceInit(s.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, id := range s.Names {
+				if id.Name != name {
+					continue
+				}
+				if len(s.Values) == 0 {
+					origin, found = "declared nil", true
+				} else if i < len(s.Values) {
+					origin, found = describeSliceInit(s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return origin, found
+}
+
+// describeSliceInit classifies a slice initializer; only initializers that
+// provably lack capacity count as local (flagging) origins.
+func describeSliceInit(e ast.Expr) (string, bool) {
+	switch x := unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" {
+			if len(x.Args) >= 3 {
+				return "", false // make with capacity: preallocated
+			}
+			return "made without capacity", true
+		}
+	case *ast.CompositeLit:
+		return "a literal without capacity", true
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return "initialized nil", true
+		}
+	}
+	return "", false
+}
+
+// collectPreallocated returns local slice names that are ever created with
+// an explicit capacity inside fd (make with 3 args or a full slice
+// expression), which approves later appends to them.
+func collectPreallocated(fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(s.Rhs) {
+				continue
+			}
+			if call, ok := unparen(s.Rhs[i]).(*ast.CallExpr); ok {
+				if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "make" && len(call.Args) >= 3 {
+					out[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

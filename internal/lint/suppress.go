@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// A suppression placed on its own line applies to the next source line; a
+// trailing suppression applies to its own line. The reason is mandatory.
+const ignorePrefix = "//lint:ignore"
+
+type suppression struct {
+	file  string
+	line  int // the source line the suppression covers
+	rules map[string]bool
+}
+
+type suppressionSet struct {
+	byLine    map[string][]suppression // file -> suppressions
+	malformed []Finding
+}
+
+// collectSuppressions scans all comments for //lint:ignore directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	set := &suppressionSet{byLine: make(map[string][]suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					set.malformed = append(set.malformed, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Rule:    "lint",
+						Message: "malformed //lint:ignore: need a rule name and a non-empty reason",
+					})
+					continue
+				}
+				rules := make(map[string]bool)
+				for _, r := range strings.Split(fields[0], ",") {
+					if r != "" {
+						rules[r] = true
+					}
+				}
+				if len(rules) == 0 {
+					set.malformed = append(set.malformed, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Rule:    "lint",
+						Message: "malformed //lint:ignore: empty rule list",
+					})
+					continue
+				}
+				// A comment alone on its line covers the next line; a
+				// trailing comment covers its own line.
+				line := pos.Line
+				if startsLine(fset, f, c) {
+					line++
+				}
+				set.byLine[pos.Filename] = append(set.byLine[pos.Filename],
+					suppression{file: pos.Filename, line: line, rules: rules})
+			}
+		}
+	}
+	return set
+}
+
+// startsLine reports whether comment c is the first token on its line.
+func startsLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if n.Pos().IsValid() && n.Pos() < c.Pos() {
+			if fset.Position(n.Pos()).Line == pos.Line {
+				first = false
+				return false
+			}
+		}
+		return true
+	})
+	return first
+}
+
+func (s *suppressionSet) matches(f Finding) bool {
+	for _, sup := range s.byLine[f.File] {
+		if sup.line == f.Line && sup.rules[f.Rule] {
+			return true
+		}
+	}
+	return false
+}

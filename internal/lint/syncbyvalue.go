@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncByValue flags sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once,
+// sync.Cond and sync.Map values that are passed to a function or copied by
+// assignment. A copied lock guards nothing: the copy and the original are
+// independent, which in the parallel evaluators means two goroutines can
+// both "hold" the mutex protecting a Stats merge.
+var SyncByValue = &Analyzer{
+	Name: "syncbyvalue",
+	Doc:  "flags sync primitives passed or copied by value",
+	Run:  runSyncByValue,
+}
+
+func runSyncByValue(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(p, x.Recv)
+				checkFieldList(p, x.Type.Params)
+				checkFieldList(p, x.Type.Results)
+			case *ast.FuncLit:
+				checkFieldList(p, x.Type.Params)
+				checkFieldList(p, x.Type.Results)
+			case *ast.CallExpr:
+				for _, arg := range x.Args {
+					if name, bad := syncValue(p.TypeOf(arg)); bad && !isCompositeInit(arg) {
+						p.Report(arg.Pos(), "%s passed by value; pass a pointer (a copied lock guards nothing)", name)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, rhs := range x.Rhs {
+					if isCompositeInit(rhs) {
+						continue // fresh zero value: initialization, not a copy
+					}
+					if name, bad := syncValue(p.TypeOf(rhs)); bad {
+						_ = x.Lhs[i]
+						p.Report(rhs.Pos(), "%s copied by value; use a pointer or share the original", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if name, bad := syncValue(p.TypeOf(x.Value)); bad {
+						p.Report(x.Value.Pos(), "range copies %s by value; iterate by index", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFieldList(p *Pass, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		if name, bad := syncValue(p.TypeOf(f.Type)); bad {
+			p.Report(f.Type.Pos(), "%s parameter passed by value; use a pointer (a copied lock guards nothing)", name)
+		}
+	}
+}
+
+// isCompositeInit reports whether e constructs a fresh value (composite
+// literal), which is initialization rather than a lock copy.
+func isCompositeInit(e ast.Expr) bool {
+	_, ok := unparen(e).(*ast.CompositeLit)
+	return ok
+}
+
+// syncValue reports whether t is (or directly contains, by struct field or
+// array element) one of the sync package's no-copy primitives, returning a
+// printable name for the offending type. Pointers and interfaces break
+// containment.
+func syncValue(t types.Type) (string, bool) {
+	return syncValueRec(t, make(map[types.Type]bool))
+}
+
+func syncValueRec(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return "sync." + obj.Name(), true
+			}
+		}
+		if name, bad := syncValueRec(named.Underlying(), seen); bad {
+			return name, true
+		}
+		return "", false
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, bad := syncValueRec(u.Field(i).Type(), seen); bad {
+				return name + " (via struct field " + u.Field(i).Name() + ")", true
+			}
+		}
+	case *types.Array:
+		return syncValueRec(u.Elem(), seen)
+	}
+	return "", false
+}

@@ -1,0 +1,35 @@
+// Package floatcmpfix exercises the floatcmp rule: exact ==/!= between
+// floating-point expressions is flagged; comparisons against exact zero,
+// integer comparisons, and tolerance helpers are exempt.
+package floatcmpfix
+
+func equalParts(a, b float64) bool {
+	return a == b // WANT floatcmp
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // WANT floatcmp
+}
+
+func viaExpression(a, b, c float64) bool {
+	return a+b == c*2 // WANT floatcmp
+}
+
+func zeroGuard(a float64) bool {
+	return a == 0 // exempt: zero is exactly representable
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b // exempt: integer comparison
+}
+
+func almostEq(a, b, tol float64) bool {
+	if a == b { // exempt: tolerance helper may compare exactly
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < tol
+}

@@ -1,0 +1,41 @@
+// Package hotallocfix exercises the hotalloc rule: fmt formatting,
+// interface boxing and growing appends inside //treecode:hot functions are
+// flagged; the same code outside hot functions, and preallocated appends,
+// are exempt.
+package hotallocfix
+
+import "fmt"
+
+//treecode:hot
+func hotFormat(n int) string {
+	return fmt.Sprintf("n=%d", n) // WANT hotalloc
+}
+
+//treecode:hot
+func hotAppend(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x*2) // WANT hotalloc
+	}
+	return out
+}
+
+//treecode:hot
+func hotPrealloc(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2) // exempt: preallocated with capacity
+	}
+	return out
+}
+
+type sink interface{ Put(v any) }
+
+//treecode:hot
+func hotBoxing(s sink, v float64) {
+	s.Put(v) // WANT hotalloc
+}
+
+func coldFormat(n int) string {
+	return fmt.Sprintf("n=%d", n) // exempt: not a hot function
+}

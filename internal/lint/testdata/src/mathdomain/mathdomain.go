@@ -1,0 +1,56 @@
+// Package mathdomainfix exercises the mathdomain rule: math functions with
+// restricted domains must receive arguments that are provably in-domain
+// (squares, clamps, whitelisted functions) or be dominated by a guard.
+package mathdomainfix
+
+import "math"
+
+func unguardedSqrt(x float64) float64 {
+	return math.Sqrt(x) // WANT mathdomain
+}
+
+func unguardedLog(x float64) float64 {
+	return math.Log(x) // WANT mathdomain
+}
+
+func unguardedAcos(x float64) float64 {
+	return math.Acos(x) // WANT mathdomain
+}
+
+func floatPow(x, y float64) float64 {
+	return math.Pow(x, y) // WANT mathdomain
+}
+
+func squared(x float64) float64 {
+	return math.Sqrt(x * x) // exempt: squares are non-negative
+}
+
+func clamped(x float64) float64 {
+	return math.Sqrt(math.Max(0, x)) // exempt: clamped at zero
+}
+
+func guarded(x float64) float64 {
+	if x > 0 {
+		return math.Log(x) // exempt: dominated by the positivity guard
+	}
+	return 0
+}
+
+func bailout(x float64) float64 {
+	if x < 1 {
+		return 0
+	}
+	return math.Log(x) // exempt: the early return guarantees x >= 1
+}
+
+func unitRange(x float64) float64 {
+	return math.Acos(math.Min(1, math.Max(-1, x))) // exempt: clamped to [-1, 1]
+}
+
+func intExponent(x float64) float64 {
+	return math.Pow(x, 3) // exempt: integral exponent is always defined
+}
+
+func viaWhitelist(x float64) float64 {
+	return math.Sqrt(math.Abs(x)) // exempt: math.Abs is non-negative
+}

@@ -1,0 +1,46 @@
+// Package syncbyvaluefix exercises the syncbyvalue rule: sync primitives
+// (and structs containing them) passed, returned, assigned or ranged over
+// by value are flagged; pointers and composite-literal initialization are
+// exempt.
+package syncbyvaluefix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockArg(mu sync.Mutex) { // WANT syncbyvalue
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func copyStruct(c counter) int { // WANT syncbyvalue
+	return c.n
+}
+
+func byPointer(c *counter) int { // exempt: pointer does not copy the mutex
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func assignCopy() int {
+	c := counter{} // exempt: composite-literal initialization
+	d := c         // WANT syncbyvalue
+	return d.n
+}
+
+func passesCopy() int {
+	var c counter
+	return copyStruct(c) // WANT syncbyvalue
+}
+
+func rangeCopies(cs []counter) int {
+	total := 0
+	for _, c := range cs { // WANT syncbyvalue
+		total += c.n
+	}
+	return total
+}

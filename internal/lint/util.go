@@ -1,0 +1,19 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// render returns the source rendering of an expression, used both for
+// diagnostics and for structural equality of guard/argument expressions.
+func render(e ast.Expr) string {
+	var b strings.Builder
+	fset := token.NewFileSet()
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -70,6 +70,8 @@ func (e *Expansion) AddParticle(pos vec.V3, q float64) {
 
 // AddParticleAt is AddParticle with a caller-provided scratch buffer of
 // length >= harmonics.Len(e.Degree) (nil allocates).
+//
+//treecode:hot
 func (e *Expansion) AddParticleAt(pos vec.V3, q float64, buf []complex128) {
 	d := pos.Sub(e.Center)
 	r := harmonics.Regular(buf, d, e.Degree)
@@ -133,6 +135,8 @@ func (e *Expansion) AccumulateTranslated(src *Expansion) {
 
 // EvaluatePrefix is Evaluate with a caller-provided scratch buffer of
 // length >= harmonics.Len(p) (nil allocates). Useful in hot loops.
+//
+//treecode:hot
 func (e *Expansion) EvaluatePrefix(x vec.V3, p int, buf []complex128) float64 {
 	return e.evaluateBuf(x, p, buf)
 }
@@ -167,6 +171,9 @@ func (e *Expansion) Evaluate(x vec.V3, p int) float64 {
 	return e.evaluateBuf(x, p, nil)
 }
 
+// evaluateBuf is the shared M2P core of Evaluate and EvaluatePrefix.
+//
+//treecode:hot
 func (e *Expansion) evaluateBuf(x vec.V3, p int, buf []complex128) float64 {
 	if p > e.Degree {
 		p = e.Degree
@@ -192,6 +199,8 @@ func (e *Expansion) EvaluateField(x vec.V3, p int) (phi float64, grad vec.V3) {
 
 // EvaluateFieldBuf is EvaluateField with a caller-provided scratch buffer of
 // length >= harmonics.Len(p+1) (nil allocates).
+//
+//treecode:hot
 func (e *Expansion) EvaluateFieldBuf(x vec.V3, p int, buf []complex128) (phi float64, grad vec.V3) {
 	if p > e.Degree {
 		p = e.Degree

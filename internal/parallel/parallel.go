@@ -235,15 +235,13 @@ func placeChunks(profiles []chunkProfile, procs int, sched Schedule) []int {
 }
 
 // Measure times the real goroutine evaluation at the given worker count and
-// returns the wall-clock duration of one full potential evaluation.
+// returns the wall-clock duration of one full potential evaluation. The
+// worker count is passed per-call, so Measure never mutates the evaluator
+// and is safe to run concurrently with other evaluations.
 func Measure(e *core.Evaluator, workers int) time.Duration {
-	saved := e.Cfg.Workers
-	e.Cfg.Workers = workers
 	start := time.Now()
-	e.Potentials()
-	d := time.Since(start)
-	e.Cfg.Workers = saved
-	return d
+	e.PotentialsWithWorkers(workers)
+	return time.Since(start)
 }
 
 func min(a, b int) int {

@@ -1,0 +1,50 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"treecode/internal/core"
+	"treecode/internal/points"
+)
+
+// TestSimulateRace runs the cost simulator and the wall-clock measurement
+// concurrently against one shared evaluator (run with -race). Simulate
+// only reads the evaluator, so concurrent reports must agree.
+func TestSimulateRace(t *testing.T) {
+	set, err := points.Generate(points.Uniform, 500, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(set, core.Config{Method: core.Adaptive, Degree: 3, Alpha: 0.5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Simulate(e, 4, 2, Static, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for c := 0; c < 2; c++ {
+		go func() {
+			defer wg.Done()
+			rep, err := Simulate(e, 4, 2, Static, CostModel{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rep.Speedup != ref.Speedup {
+				t.Errorf("Speedup = %g differs from reference %g", rep.Speedup, ref.Speedup)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if d := Measure(e, 4); d < 0 {
+				t.Errorf("negative measured duration %v", d)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -148,7 +148,7 @@ func GenerateCharged(dist Distribution, n int, seed int64, totalAbs float64, mix
 		for i := 0; i < n; i++ {
 			u := 2*rng.Float64() - 1
 			phi := 2 * math.Pi * rng.Float64()
-			s := math.Sqrt(1 - u*u)
+			s := math.Sqrt(math.Max(0, 1-u*u)) // clamp: u*u can round above 1
 			p := vec.V3{X: s * math.Cos(phi), Y: s * math.Sin(phi), Z: u}
 			pos = append(pos, p.Scale(0.5).Add(vec.V3{X: 0.5, Y: 0.5, Z: 0.5}))
 		}
@@ -193,13 +193,18 @@ func plummerPoint(rng *rand.Rand) vec.V3 {
 	const scale = 0.08
 	for {
 		m := rng.Float64()
-		r := scale / math.Sqrt(math.Pow(m, -2.0/3.0)-1)
+		if m <= 0 {
+			continue // m = 0 would put the sample at r = 0 with infinite density weight
+		}
+		// m in (0,1) makes m^(-2/3) >= 1; the clamp guards the boundary
+		// case where the subtraction rounds negative.
+		r := scale / math.Sqrt(math.Max(0, math.Pow(m, -2.0/3.0)-1))
 		if r > 0.45 {
 			continue
 		}
 		u := 2*rng.Float64() - 1
 		phi := 2 * math.Pi * rng.Float64()
-		s := math.Sqrt(1 - u*u)
+		s := math.Sqrt(math.Max(0, 1-u*u)) // clamp: u*u can round above 1
 		dir := vec.V3{X: s * math.Cos(phi), Y: s * math.Sin(phi), Z: u}
 		return dir.Scale(r).Add(vec.V3{X: 0.5, Y: 0.5, Z: 0.5})
 	}

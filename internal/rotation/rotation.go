@@ -72,7 +72,7 @@ func SmallD(n int, beta float64) [][]float64 {
 //	  sum_k (-1)^{mp-m+k} c^{2n+m-mp-2k} s^{mp-m+2k} /
 //	        ((n+m-k)! k! (n-mp-k)! (mp-m+k)!)
 func smallDElem(n, m, mp int, c, s float64) float64 {
-	pre := math.Sqrt(fact[n+m] * fact[n-m] * fact[n+mp] * fact[n-mp])
+	pre := math.Sqrt(fact[n+m] * fact[n-m] * fact[n+mp] * fact[n-mp]) //lint:ignore mathdomain fact is a table of factorials, all >= 1; indices are in range because |m|,|mp| <= n
 	kLo := 0
 	if m-mp > kLo {
 		kLo = m - mp
@@ -138,9 +138,9 @@ func NewPlan(p int, beta float64) *Plan {
 						mp := mpi - n
 						// Regular solid harmonics carry N_n^m, irregular
 						// 1/N_n^m; the coefficient matrices scale inversely.
-						nm := math.Sqrt(fact[n-m] * fact[n+m])
-						nmp := math.Sqrt(fact[n-mp] * fact[n+mp])
-						scale := nmp / nm // Multipole kind
+						nm := math.Sqrt(fact[n-m] * fact[n+m])    //lint:ignore mathdomain factorial table entries are all >= 1
+						nmp := math.Sqrt(fact[n-mp] * fact[n+mp]) //lint:ignore mathdomain factorial table entries are all >= 1
+						scale := nmp / nm                         // Multipole kind
 						if Kind(kind) == Local {
 							scale = nm / nmp
 						}

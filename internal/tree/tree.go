@@ -258,8 +258,8 @@ func (t *Tree) MinLeafStats() (absCharge, size float64, ok bool) {
 		if !n.IsLeaf() || n.AbsCharge <= 0 {
 			return
 		}
-		if absCharge < 0 || n.AbsCharge < absCharge ||
-			(n.AbsCharge == absCharge && n.Size() < size) {
+		tie := n.AbsCharge == absCharge && n.Size() < size //lint:ignore floatcmp exact equality is the deterministic tie-break; a tolerance would make the choice traversal-order dependent
+		if absCharge < 0 || n.AbsCharge < absCharge || tie {
 			absCharge = n.AbsCharge
 			size = n.Size()
 		}

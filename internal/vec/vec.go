@@ -79,12 +79,8 @@ func (v V3) Spherical() (r, theta, phi float64) {
 	if r == 0 {
 		return 0, 0, 0
 	}
-	c := v.Z / r
-	if c > 1 {
-		c = 1
-	} else if c < -1 {
-		c = -1
-	}
+	// Clamp the cosine: r is rounded, so |Z|/r can land just above 1.
+	c := math.Min(1, math.Max(-1, v.Z/r))
 	theta = math.Acos(c)
 	phi = math.Atan2(v.Y, v.X)
 	return r, theta, phi

@@ -90,6 +90,6 @@ func WriteMesh(w io.Writer, m *mesh.Mesh, scalars map[string][]float64) error {
 	return bw.Flush()
 }
 
-func header(w io.Writer, title string) {
+func header(w *bufio.Writer, title string) {
 	fmt.Fprintf(w, "# vtk DataFile Version 3.0\n%s\nASCII\n", title)
 }
