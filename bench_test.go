@@ -20,6 +20,7 @@ import (
 	"treecode/internal/core"
 	"treecode/internal/direct"
 	"treecode/internal/mesh"
+	"treecode/internal/obs"
 	"treecode/internal/parallel"
 	"treecode/internal/points"
 	"treecode/internal/stats"
@@ -208,6 +209,38 @@ func BenchmarkComplexityRatio(b *testing.B) {
 			b.ReportMetric(ratio, "terms-ratio")
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on the
+// hot evaluation path. "off" is the production configuration (nil collector:
+// every obs entry point reduces to a single nil check), "on" attaches a
+// collector recording the full MAC census, degree histogram, opening ratios,
+// and Theorem 2 budget. The contract is that "off" stays within ~2% of a
+// build that predates the obs layer; comparing the two sub-benchmarks shows
+// what turning instrumentation on actually costs.
+func BenchmarkObsOverhead(b *testing.B) {
+	set, err := points.GenerateCharged(points.Uniform, 16000, 1, 16000, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, instrument bool) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var col *obs.Collector
+			if instrument {
+				// A fresh collector per iteration keeps span memory bounded
+				// and charges the setup cost to the instrumented case.
+				col = obs.New()
+			}
+			e, err := core.New(set, core.Config{Method: core.Adaptive, Degree: 4, Alpha: 0.5, Obs: col})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Potentials()
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkBaselineDirect is the exact-summation baseline the treecodes are

@@ -15,6 +15,7 @@ import (
 	"treecode/internal/core"
 	"treecode/internal/krylov"
 	"treecode/internal/mesh"
+	"treecode/internal/obs"
 	"treecode/internal/stats"
 	"treecode/internal/vec"
 )
@@ -29,11 +30,16 @@ func main() {
 	restart := flag.Int("restart", 10, "GMRES restart (paper: 10)")
 	precond := flag.Bool("precond", false, "use the near-field block-Jacobi preconditioner")
 	blockSize := flag.Int("block", 48, "preconditioner block size")
+	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
 	flag.Parse()
 
 	if err := (core.Config{Degree: *degree, Alpha: *alpha}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	var col *obs.Collector // nil keeps the operator uninstrumented
+	if *obsJSON != "" {
+		col = obs.New()
 	}
 
 	var m *mesh.Mesh
@@ -51,7 +57,7 @@ func main() {
 	fmt.Printf("%s: %d elements, %d nodes (%d unknowns)\n",
 		*surface, m.NumTris(), m.NumVerts(), m.NumVerts())
 
-	op, err := bem.New(m, *quad, &core.Config{Method: core.Adaptive, Degree: *degree, Alpha: *alpha})
+	op, err := bem.New(m, *quad, &core.Config{Method: core.Adaptive, Degree: *degree, Alpha: *alpha, Obs: col})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -92,6 +98,12 @@ func main() {
 	if *surface == "sphere" {
 		fmt.Printf("analytic capacitance of the unit sphere: 1.00000 (error %.2f%%)\n",
 			100*absf(q-1))
+	}
+	if *obsJSON != "" {
+		if err := obs.WriteJSON(col, *obsJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "bemsolve: writing obs trace: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"treecode/internal/cliio"
 	"treecode/internal/core"
 	"treecode/internal/direct"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/stats"
 )
@@ -31,11 +32,16 @@ func main() {
 	sample := flag.Int("sample", 2000, "reference sample size for large n")
 	exactMax := flag.Int("exactmax", 20000, "largest n for full direct reference")
 	out := flag.String("o", "", "output file (default stdout)")
+	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
 	flag.Parse()
 
 	if err := (core.Config{Degree: *degree, Alpha: *alpha}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	var col *obs.Collector // nil keeps the evaluators uninstrumented
+	if *obsJSON != "" {
+		col = obs.New()
 	}
 
 	w, werr := cliio.Create(*out)
@@ -56,8 +62,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		errO, termsO := run(set, core.Original, *degree, *alpha, *sample, *exactMax, *seed)
-		errA, termsA := run(set, core.Adaptive, *degree, *alpha, *sample, *exactMax, *seed)
+		errO, termsO := run(set, core.Original, *degree, *alpha, *sample, *exactMax, *seed, col)
+		errA, termsA := run(set, core.Adaptive, *degree, *alpha, *sample, *exactMax, *seed, col)
 		fmt.Fprintf(w.W, "%d,%s,%s,%d,%d\n", n,
 			stats.FormatFloat(errO), stats.FormatFloat(errA), termsO, termsA)
 	}
@@ -65,10 +71,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figure2: writing %s: %v\n", w.Name(), err)
 		os.Exit(1)
 	}
+	if *obsJSON != "" {
+		if err := obs.WriteJSON(col, *obsJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "figure2: writing obs trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(set *points.Set, method core.Method, degree int, alpha float64, sample, exactMax int, seed int64) (float64, int64) {
-	e, err := core.New(set, core.Config{Method: method, Degree: degree, Alpha: alpha})
+func run(set *points.Set, method core.Method, degree int, alpha float64, sample, exactMax int, seed int64, col *obs.Collector) (float64, int64) {
+	e, err := core.New(set, core.Config{Method: method, Degree: degree, Alpha: alpha, Obs: col})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -9,12 +9,14 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 
 	"treecode/internal/bounds"
 	"treecode/internal/core"
 	"treecode/internal/mac"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/stats"
 	"treecode/internal/tree"
@@ -25,7 +27,13 @@ func main() {
 	dist := flag.String("dist", "uniform", "distribution")
 	alphas := flag.String("alphas", "0.3,0.5,0.7", "comma-separated alpha values")
 	seed := flag.Int64("seed", 1, "seed")
+	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
 	flag.Parse()
+
+	var col *obs.Collector // nil keeps the evaluators uninstrumented
+	if *obsJSON != "" {
+		col = obs.New()
+	}
 
 	alphaList := splitFloats(*alphas)
 	for _, alpha := range alphaList {
@@ -45,7 +53,7 @@ func main() {
 		"maxPerSize", "K(alpha)")
 	for _, alpha := range alphaList {
 		e, err := core.New(set, core.Config{
-			Degree: 2, Alpha: alpha, MAC: mac.BoxAlpha{Alpha: alpha},
+			Degree: 2, Alpha: alpha, MAC: mac.BoxAlpha{Alpha: alpha}, Obs: col,
 		})
 		if err != nil {
 			fmt.Println(err)
@@ -83,6 +91,12 @@ func main() {
 	fmt.Println("== Figure 1 / Lemmas 1-2: empirical interaction geometry ==")
 	fmt.Println("(d/s ratios must lie within [lo, hi]; per-size counts below K)")
 	fmt.Println(tb)
+	if *obsJSON != "" {
+		if err := obs.WriteJSON(col, *obsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "lemma1: writing obs trace:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func splitFloats(s string) []float64 {

@@ -11,6 +11,7 @@ import (
 	"treecode/internal/cliio"
 	"treecode/internal/mesh"
 	"treecode/internal/meshio"
+	"treecode/internal/obs"
 	"treecode/internal/vec"
 	"treecode/internal/vtk"
 )
@@ -21,8 +22,15 @@ func main() {
 	blades := flag.Int("blades", 3, "propeller blade count")
 	format := flag.String("format", "off", "off|vtk")
 	out := flag.String("o", "", "output file (default stdout)")
+	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
 	flag.Parse()
 
+	var col *obs.Collector // nil disables the phase spans
+	if *obsJSON != "" {
+		col = obs.New()
+	}
+
+	sp := col.Start("meshgen/generate")
 	var m *mesh.Mesh
 	switch *surface {
 	case "sphere":
@@ -35,6 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown surface:", *surface)
 		os.Exit(1)
 	}
+	sp.End()
 	fmt.Fprintf(os.Stderr, "%s: %d elements, %d nodes\n", *surface, m.NumTris(), m.NumVerts())
 
 	w, err := cliio.Create(*out)
@@ -42,6 +51,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	sp = col.Start("meshgen/write")
 	switch *format {
 	case "off":
 		err = meshio.WriteOFF(w.W, m)
@@ -53,8 +63,15 @@ func main() {
 	if cerr := w.Close(); err == nil {
 		err = cerr
 	}
+	sp.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *obsJSON != "" {
+		if err := obs.WriteJSON(col, *obsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "meshgen: writing obs trace:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"treecode/internal/core"
 	"treecode/internal/direct"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/sim"
 	"treecode/internal/stats"
@@ -29,13 +30,29 @@ func main() {
 	checkErr := flag.Bool("check", true, "compare against direct summation (O(n^2))")
 	steps := flag.Int("steps", 0, "leapfrog steps to advance (0 = potentials only)")
 	dt := flag.Float64("dt", 1e-3, "timestep for -steps")
+	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
+	obsAddr := flag.String("obsaddr", "", "serve expvar and pprof on this localhost address (e.g. 127.0.0.1:0)")
 	flag.Parse()
 
 	m := core.Original
 	if *method == "adaptive" {
 		m = core.Adaptive
 	}
-	cfg := core.Config{Method: m, Degree: *degree, Alpha: *alpha, LeafCap: *leafCap, Workers: *workers}
+	var col *obs.Collector // nil keeps the evaluator uninstrumented
+	if *obsJSON != "" || *obsAddr != "" {
+		col = obs.New()
+	}
+	if *obsAddr != "" {
+		col.Publish("treecode.nbody")
+		srv, addr, err := obs.Serve(*obsAddr, col)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "obs: serving expvar and pprof on http://%s\n", addr)
+	}
+	cfg := core.Config{Method: m, Degree: *degree, Alpha: *alpha, LeafCap: *leafCap, Workers: *workers, Obs: col}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -63,6 +80,7 @@ func main() {
 		fmt.Printf("advanced %d steps of %d-body %s system (dt=%g)\n", *steps, *n, *dist, *dt)
 		fmt.Printf("energy: kin %.6g -> %.6g, pot %.6g -> %.6g, total %.6g -> %.6g (drift %.3g)\n",
 			k0, k1, p0, p1, e0, e1, (e1-e0)/e0)
+		writeObs(col, *obsJSON)
 		return
 	}
 
@@ -84,5 +102,17 @@ func main() {
 		exact := direct.SelfPotentials(set, 0)
 		fmt.Printf("relative 2-norm error vs direct: %s\n",
 			stats.FormatFloat(stats.RelErr2(phi, exact)))
+	}
+	writeObs(col, *obsJSON)
+}
+
+// writeObs exports the obs trace when a path was requested (no-op otherwise).
+func writeObs(col *obs.Collector, path string) {
+	if path == "" {
+		return
+	}
+	if err := obs.WriteJSON(col, path); err != nil {
+		fmt.Fprintf(os.Stderr, "nbody: writing obs trace: %v\n", err)
+		os.Exit(1)
 	}
 }

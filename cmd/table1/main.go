@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
 	"treecode/internal/core"
 	"treecode/internal/direct"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/stats"
 )
@@ -38,11 +40,16 @@ func main() {
 	sample := flag.Int("sample", 2000, "reference sample size for large n")
 	exactMax := flag.Int("exactmax", 20000, "largest n for full direct reference")
 	refq := flag.Float64("refq", 0, "Theorem 3 reference-cluster quantile (0 = theorem's minimum)")
+	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
 	flag.Parse()
 
 	if err := (core.Config{Degree: *degree, Alpha: *alpha, RefQuantile: *refq}).Validate(); err != nil {
 		fmt.Println(err)
 		return
+	}
+	var col *obs.Collector // nil keeps the evaluators uninstrumented
+	if *obsJSON != "" {
+		col = obs.New()
 	}
 
 	for _, d := range strings.Split(*dists, ",") {
@@ -57,7 +64,7 @@ func main() {
 				fmt.Println("bad size:", s)
 				continue
 			}
-			r, err := runCase(dist, n, *degree, *alpha, *seed, *sample, *exactMax, *refq)
+			r, err := runCase(dist, n, *degree, *alpha, *seed, *sample, *exactMax, *refq, col)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -68,6 +75,12 @@ func main() {
 		}
 		fmt.Println(tb)
 	}
+	if *obsJSON != "" {
+		if err := obs.WriteJSON(col, *obsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "table1: writing obs trace:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 type result struct {
@@ -75,18 +88,18 @@ type result struct {
 	termsO, termsA         int64
 }
 
-func runCase(dist points.Distribution, n, degree int, alpha float64, seed int64, sample, exactMax int, refq float64) (*result, error) {
+func runCase(dist points.Distribution, n, degree int, alpha float64, seed int64, sample, exactMax int, refq float64, col *obs.Collector) (*result, error) {
 	// Unit charge per particle: total charge n (uniform charge density).
 	set, err := points.GenerateCharged(dist, n, seed, float64(n), false)
 	if err != nil {
 		return nil, err
 	}
-	orig, err := core.New(set, core.Config{Method: core.Original, Degree: degree, Alpha: alpha})
+	orig, err := core.New(set, core.Config{Method: core.Original, Degree: degree, Alpha: alpha, Obs: col})
 	if err != nil {
 		return nil, err
 	}
 	phiO, stO := orig.Potentials()
-	adpt, err := core.New(set, core.Config{Method: core.Adaptive, Degree: degree, Alpha: alpha, RefQuantile: refq})
+	adpt, err := core.New(set, core.Config{Method: core.Adaptive, Degree: degree, Alpha: alpha, RefQuantile: refq, Obs: col})
 	if err != nil {
 		return nil, err
 	}

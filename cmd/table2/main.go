@@ -17,9 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 
 	"treecode/internal/core"
+	"treecode/internal/obs"
 	"treecode/internal/parallel"
 	"treecode/internal/points"
 	"treecode/internal/stats"
@@ -33,11 +35,16 @@ func main() {
 	procs := flag.Int("procs", 32, "simulated processor count")
 	w := flag.Int("w", 64, "particles per chunk")
 	seed := flag.Int64("seed", 1, "workload seed")
+	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
 	flag.Parse()
 
 	if err := (core.Config{Degree: *degree, Alpha: *alpha, ChunkSize: *w}).Validate(); err != nil {
 		fmt.Println("error:", err)
 		return
+	}
+	var col *obs.Collector // nil keeps the runs uninstrumented
+	if *obsJSON != "" {
+		col = obs.New()
 	}
 
 	type workload struct {
@@ -66,8 +73,8 @@ func main() {
 				fmt.Println("error:", err)
 				return
 			}
-			serial := parallel.Measure(e, 1).Seconds()
-			rep, err := parallel.Simulate(e, *procs, *w, parallel.Static, parallel.CostModel{})
+			serial := parallel.MeasureTraced(e, 1, col).Seconds()
+			rep, err := parallel.SimulateTraced(e, *procs, *w, parallel.Static, parallel.CostModel{}, col)
 			if err != nil {
 				fmt.Println("error:", err)
 				return
@@ -96,9 +103,15 @@ func main() {
 				workerCounts = append(workerCounts, runtime.NumCPU())
 			}
 			for _, workers := range workerCounts {
-				tb2.AddRow(wl.name, method.String(), workers, parallel.Measure(e, workers).Seconds())
+				tb2.AddRow(wl.name, method.String(), workers, parallel.MeasureTraced(e, workers, col).Seconds())
 			}
 		}
 	}
 	fmt.Println(tb2)
+	if *obsJSON != "" {
+		if err := obs.WriteJSON(col, *obsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "table2: writing obs trace:", err)
+			os.Exit(1)
+		}
+	}
 }

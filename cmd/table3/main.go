@@ -14,12 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"os"
 	"time"
 
 	"treecode/internal/bem"
 	"treecode/internal/core"
 	"treecode/internal/krylov"
 	"treecode/internal/mesh"
+	"treecode/internal/obs"
 	"treecode/internal/stats"
 )
 
@@ -30,11 +32,16 @@ func main() {
 	refDegree := flag.Int("refdegree", 9, "reference expansion degree (paper: 9)")
 	exact := flag.Bool("exact", false, "also compute the exact direct-summation product")
 	gmres := flag.Bool("gmres", true, "also run a GMRES(10) solve with the improved method")
+	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
 	flag.Parse()
 
 	if err := (core.Config{Degree: *refDegree, Alpha: *alpha}).Validate(); err != nil {
 		fmt.Println("error:", err)
 		return
+	}
+	var col *obs.Collector // nil keeps the operators uninstrumented
+	if *obsJSON != "" {
+		col = obs.New()
 	}
 
 	type surf struct {
@@ -83,7 +90,7 @@ func main() {
 		tb := stats.NewTable("Algorithm", "Degree", "Err", "Time(s)", "Terms")
 		for _, method := range []core.Method{core.Original, core.Adaptive} {
 			for _, p := range []int{2, 3, 4, 5} {
-				op, err := bem.New(c.m, *quad, &core.Config{Method: method, Degree: p, Alpha: *alpha})
+				op, err := bem.New(c.m, *quad, &core.Config{Method: method, Degree: p, Alpha: *alpha, Obs: col})
 				if err != nil {
 					fmt.Println("error:", err)
 					return
@@ -128,6 +135,12 @@ func main() {
 			}
 			fmt.Printf("GMRES(10)+block-precond on V*sigma=1: %d products, residual %s, converged=%v, %.2fs\n\n",
 				res.Iterations, stats.FormatFloat(res.Residual), res.Converged, time.Since(start).Seconds())
+		}
+	}
+	if *obsJSON != "" {
+		if err := obs.WriteJSON(col, *obsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "table3: writing obs trace:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,132 @@
+package analyze
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"treecode/internal/bounds"
+	"treecode/internal/core"
+	"treecode/internal/harmonics"
+	"treecode/internal/stats"
+	"treecode/internal/tree"
+)
+
+// LevelBudget compares, for the cluster interactions at one tree level, the
+// Theorem 2 predicted error budget against the realized truncation error.
+// Realized error is measured directly: for each sampled accepted interaction
+// the truncated series value is compared with the exact sum over the
+// cluster's particles, which isolates the truncation error the theorems
+// bound from everything else (tree construction, ordering, roundoff in the
+// far-field accumulation).
+type LevelBudget struct {
+	Level     int
+	Accepts   int64   // sampled particle-cluster interactions
+	Predicted float64 // sum of Theorem 2 bounds A*alpha^(p+1)/(r(1-alpha))
+	Realized  float64 // sum of |series - exact cluster sum|
+	MaxErr    float64 // worst single sampled interaction error
+}
+
+// Budget is the per-level error-budget accounting of an evaluator over
+// sampled targets.
+type Budget struct {
+	Targets        int
+	Alpha          float64
+	Levels         []LevelBudget
+	PredictedTotal float64
+	RealizedTotal  float64
+	MaxErr         float64
+}
+
+// ErrorBudget measures every stride-th particle of the evaluator (stride
+// <= 1 measures all of them). Each accepted cluster interaction contributes
+// its Theorem 2 bound to the predicted budget of the cluster's level, and
+// its measured |truncated series - exact cluster sum| to the realized
+// budget. Cost is O(targets * n) in the worst case (each exact cluster sum
+// touches the cluster's particles), so sampling via stride matters for
+// large runs.
+func ErrorBudget(e *core.Evaluator, stride int) *Budget {
+	if stride < 1 {
+		stride = 1
+	}
+	t := e.Tree
+	b := &Budget{
+		Alpha:  e.Cfg.Alpha,
+		Levels: make([]LevelBudget, t.Height+1),
+	}
+	for lvl := range b.Levels {
+		b.Levels[lvl].Level = lvl
+	}
+	maxDeg := 0
+	t.Walk(func(n *tree.Node) {
+		if n.Degree > maxDeg {
+			maxDeg = n.Degree
+		}
+	})
+	buf := make([]complex128, harmonics.Len(maxDeg))
+
+	for i := 0; i < len(t.Pos); i += stride {
+		x := t.Pos[i]
+		b.Targets++
+		e.VisitInteractions(x, i, func(n *tree.Node, degree int) {
+			// A target accepted under the MAC is outside the cluster's
+			// bounding sphere (r >= a/alpha > a), so the exact sum never
+			// includes the target itself and never divides by zero.
+			r := x.Dist(n.Center)
+			pred := bounds.AlphaBound(n.AbsCharge, r, b.Alpha, degree)
+			approx := n.Mp.EvaluatePrefix(x, degree, buf)
+			var exact float64
+			for j := n.Start; j < n.End; j++ {
+				exact += t.Q[j] / x.Dist(t.Pos[j])
+			}
+			err := math.Abs(approx - exact)
+			ls := &b.Levels[n.Level]
+			ls.Accepts++
+			ls.Predicted += pred
+			ls.Realized += err
+			if err > ls.MaxErr {
+				ls.MaxErr = err
+			}
+			b.PredictedTotal += pred
+			b.RealizedTotal += err
+			if err > b.MaxErr {
+				b.MaxErr = err
+			}
+		}, nil)
+	}
+	return b
+}
+
+// Slack returns the overall predicted/realized ratio — how loose the
+// Theorem 2 budget is in aggregate (at least 1 when the bound holds;
+// +Inf when no realized error was measured).
+func (b *Budget) Slack() float64 {
+	if b.RealizedTotal == 0 {
+		return math.Inf(1)
+	}
+	return b.PredictedTotal / b.RealizedTotal
+}
+
+// String renders the Table-2-style per-level budget breakdown.
+func (b *Budget) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "error budget over %d targets (alpha=%.3g): predicted %.3e, realized %.3e, slack %.1fx\n",
+		b.Targets, b.Alpha, b.PredictedTotal, b.RealizedTotal, b.Slack())
+	tb := stats.NewTable("level", "accepts", "predicted", "realized", "slack", "max err")
+	for _, ls := range b.Levels {
+		if ls.Accepts == 0 {
+			continue
+		}
+		slack := math.Inf(1)
+		if ls.Realized > 0 {
+			slack = ls.Predicted / ls.Realized
+		}
+		tb.AddRow(ls.Level, ls.Accepts,
+			fmt.Sprintf("%.3e", ls.Predicted),
+			fmt.Sprintf("%.3e", ls.Realized),
+			fmt.Sprintf("%.1f", slack),
+			fmt.Sprintf("%.3e", ls.MaxErr))
+	}
+	sb.WriteString(tb.String())
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package analyze
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"treecode/internal/core"
+)
+
+func TestErrorBudgetBoundsHold(t *testing.T) {
+	for _, m := range []core.Method{core.Original, core.Adaptive} {
+		e := build(t, m)
+		b := ErrorBudget(e, 11)
+		if b.Targets == 0 || b.PredictedTotal <= 0 || b.RealizedTotal <= 0 {
+			t.Fatalf("%v: empty budget: %+v", m, b)
+		}
+		// Theorem 2 is a worst-case bound: the realized truncation error of
+		// every sampled interaction, and hence every per-level sum, must sit
+		// under the predicted budget.
+		var accepts int64
+		var pred, real float64
+		for _, ls := range b.Levels {
+			if ls.Realized > ls.Predicted {
+				t.Errorf("%v level %d: realized %v exceeds Theorem 2 budget %v",
+					m, ls.Level, ls.Realized, ls.Predicted)
+			}
+			if ls.MaxErr > ls.Realized {
+				t.Errorf("%v level %d: max single error %v exceeds level sum %v",
+					m, ls.Level, ls.MaxErr, ls.Realized)
+			}
+			accepts += ls.Accepts
+			pred += ls.Predicted
+			real += ls.Realized
+		}
+		// Totals are accumulated in interaction order, level sums per level,
+		// so they agree only up to summation-order roundoff.
+		if math.Abs(pred-b.PredictedTotal) > 1e-9*b.PredictedTotal ||
+			math.Abs(real-b.RealizedTotal) > 1e-9*b.RealizedTotal {
+			t.Errorf("%v: level sums (%v, %v) disagree with totals (%v, %v)",
+				m, pred, real, b.PredictedTotal, b.RealizedTotal)
+		}
+		if b.Slack() < 1 {
+			t.Errorf("%v: slack %v < 1 means the bound failed somewhere", m, b.Slack())
+		}
+		if accepts == 0 {
+			t.Fatalf("%v: no accepted interactions sampled", m)
+		}
+	}
+}
+
+func TestErrorBudgetMatchesProfileCensus(t *testing.T) {
+	e := build(t, core.Adaptive)
+	const stride = 7
+	b := ErrorBudget(e, stride)
+	p := Interactions(e, stride)
+	if b.Targets != p.Targets {
+		t.Fatalf("budget sampled %d targets, profile %d", b.Targets, p.Targets)
+	}
+	var accepts int64
+	for _, ls := range b.Levels {
+		accepts += ls.Accepts
+	}
+	if accepts != p.PC {
+		t.Fatalf("budget saw %d interactions, profile saw %d", accepts, p.PC)
+	}
+}
+
+func TestErrorBudgetAdaptiveFlattens(t *testing.T) {
+	// The adaptive method spends extra degrees on high-charge top clusters,
+	// so its realized total should be below the original's at equal minimum
+	// degree (the paper's whole point).
+	orig := ErrorBudget(build(t, core.Original), 11)
+	adpt := ErrorBudget(build(t, core.Adaptive), 11)
+	if adpt.RealizedTotal >= orig.RealizedTotal {
+		t.Errorf("adaptive realized %v not below original %v",
+			adpt.RealizedTotal, orig.RealizedTotal)
+	}
+}
+
+func TestBudgetString(t *testing.T) {
+	b := ErrorBudget(build(t, core.Adaptive), 23)
+	s := b.String()
+	for _, want := range []string{"error budget", "predicted", "realized", "slack"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("budget table missing %q:\n%s", want, s)
+		}
+	}
+	if math.IsInf(b.Slack(), 1) {
+		t.Error("slack unexpectedly infinite")
+	}
+}

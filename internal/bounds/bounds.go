@@ -40,6 +40,9 @@ package bounds
 
 import (
 	"math"
+	"sync/atomic"
+
+	"treecode/internal/legendre"
 )
 
 // InteractionBound is the Theorem 1 truncation bound A/(r-a) * (a/r)^{p+1}.
@@ -111,6 +114,11 @@ type DegreeSelector struct {
 
 	ARef float64 // reference cluster absolute charge
 	SRef float64 // reference cluster size (box edge or radius; be consistent)
+
+	// clamps counts Degree results limited by the StabilityCap — requests
+	// for degrees the float64 Legendre recurrences cannot deliver, i.e.
+	// silent accuracy loss. Atomic so concurrent selections stay countable.
+	clamps atomic.Int64
 }
 
 // NewDegreeSelector returns a Theorem 3 selector. aRef and sRef describe the
@@ -144,11 +152,32 @@ func (d *DegreeSelector) Degree(A, s float64) int {
 	if p > d.PMax {
 		p = d.PMax
 	}
+	if limit := d.StabilityCap(); p > limit {
+		p = limit
+		d.clamps.Add(1)
+	}
 	if p < d.PMin {
 		p = d.PMin
 	}
 	return p
 }
+
+// StabilityCap returns the largest degree Degree may return: the float64
+// accuracy limit of the Legendre recurrences (legendre.MaxAccurateDegree),
+// unless PMin itself exceeds it — an explicit user floor is honored, since
+// Degree never returns less than PMin.
+func (d *DegreeSelector) StabilityCap() int {
+	if d.PMin > legendre.MaxAccurateDegree {
+		return d.PMin
+	}
+	return legendre.MaxAccurateDegree
+}
+
+// ClampCount returns how many Degree calls were clamped at the stability
+// cap so far. The evaluators surface this through the observability
+// metrics: a non-zero count means the error model asked for accuracy the
+// arithmetic cannot deliver.
+func (d *DegreeSelector) ClampCount() int64 { return d.clamps.Load() }
 
 // UniformGrowthPerLevel returns the Theorem 3 degree increment per tree
 // level for a uniform charge density: net charge grows 8x and size 2x per
@@ -205,7 +234,9 @@ func ComplexityRatioWithGrowth(c float64, pMin, height int) float64 {
 
 // DegreeForError returns the smallest degree p such that the Theorem 2
 // worst-case bound for a cluster (A, a) falls below eps. Used to pick pMin
-// from a target accuracy.
+// from a target accuracy. The result is clamped to
+// legendre.MaxAccurateDegree: a larger degree would not improve realized
+// float64 accuracy, only cost more terms.
 func DegreeForError(A, a, alpha, eps float64) int {
 	if eps <= 0 || alpha <= 0 || alpha >= 1 || A <= 0 || a <= 0 {
 		return 0
@@ -216,6 +247,9 @@ func DegreeForError(A, a, alpha, eps float64) int {
 	p := int(math.Ceil(t)) - 2
 	if p < 0 {
 		p = 0
+	}
+	if p > legendre.MaxAccurateDegree {
+		p = legendre.MaxAccurateDegree
 	}
 	return p
 }

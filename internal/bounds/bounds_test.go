@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"treecode/internal/legendre"
 	"treecode/internal/mac"
 	"treecode/internal/points"
 	"treecode/internal/tree"
@@ -195,8 +196,10 @@ func TestDegreeSelector(t *testing.T) {
 	if got := sel.Degree(64, 4); got != 8 {
 		t.Errorf("two levels up degree = %d, want 8", got)
 	}
-	// Clamping.
-	if got := sel.Degree(1e30, 1); got != 40 {
+	// Clamping: PMax 40 exceeds the Legendre stability cap, so a
+	// pathological cluster stops at the cap (and the event is counted —
+	// see TestDegreeSelectorStabilityClamp).
+	if got := sel.Degree(1e30, 1); got != legendre.MaxAccurateDegree {
 		t.Errorf("clamp failed: %d", got)
 	}
 	// Degenerate inputs fall back to pMin.

@@ -1,0 +1,170 @@
+package bounds
+
+// Drift guard for the paper's error-model constants. The K(alpha) table
+// and the Lemma 1 annulus limits below are pinned as literals AND
+// recomputed here from their defining formulas, independently of the
+// package code. A refactor that changes MaxInteractionsPerSize,
+// DistanceRatio, DistanceRatioChargeCenter, or UniformGrowthPerLevel —
+// even by a rearrangement that alters the floating-point result — fails
+// this test, so the paper's error model cannot drift silently.
+
+import (
+	"math"
+	"testing"
+
+	"treecode/internal/legendre"
+)
+
+// constGolden pins, for a grid of alpha values, the Lemma 1 distance-ratio
+// limits (box form lo/hi and charge-center hi), the Lemma 2 constant
+// K(alpha), and the Theorem 3 uniform per-level degree growth. Values were
+// computed once from the defining formulas:
+//
+//	lo   = 1/alpha                         (Lemma 1, acceptance itself)
+//	hi   = 2/alpha + sqrt(3)/2             (Lemma 1, box centers)
+//	hiCC = 2/alpha + 2*sqrt(3)             (Lemma 1, charge centers)
+//	K    = 4*pi/3 * ((hi + h)^3 - max(lo - h, 0)^3), h = sqrt(3)/2
+//	c    = ln(4) / ln(1/alpha)             (Theorem 3, uniform density)
+var constGolden = []struct {
+	alpha, lo, hi, hiCC, k, growth float64
+}{
+	{0.29999999999999999, 3.3333333333333335, 7.5326920704511053, 10.130768281804421, 2418.6600413943397, 1.1514332849868898},
+	{0.40000000000000002, 2.5, 5.8660254037844384, 8.4641016151377535, 1259.7261198081858, 1.5129415947320599},
+	{0.5, 2, 4.8660254037844384, 7.4641016151377544, 782.786097010562, 2},
+	{0.59999999999999998, 1.6666666666666667, 4.1993587371177723, 6.7974349484710874, 542.25976963860751, 2.7138308977134478},
+	{0.66666666666666663, 1.5, 3.8660254037844384, 6.4641016151377544, 442.78325134777623, 3.4190225827029095},
+}
+
+// close2 is the drift tolerance: the golden values and the package code
+// must agree to within a few ulps (they are the same formula; only
+// re-derivations, not re-orderings, should stay within it).
+func close2(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 4e-15*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestLemma1ConstantsAgainstGolden(t *testing.T) {
+	for _, g := range constGolden {
+		lo, hi := DistanceRatio(g.alpha)
+		if !close2(lo, g.lo) || !close2(hi, g.hi) {
+			t.Errorf("alpha=%v: DistanceRatio = (%v, %v), golden (%v, %v)",
+				g.alpha, lo, hi, g.lo, g.hi)
+		}
+		loCC, hiCC := DistanceRatioChargeCenter(g.alpha)
+		if !close2(loCC, g.lo) || !close2(hiCC, g.hiCC) {
+			t.Errorf("alpha=%v: DistanceRatioChargeCenter = (%v, %v), golden (%v, %v)",
+				g.alpha, loCC, hiCC, g.lo, g.hiCC)
+		}
+	}
+}
+
+func TestKAlphaTableAgainstGolden(t *testing.T) {
+	for _, g := range constGolden {
+		if k := MaxInteractionsPerSize(g.alpha); !close2(k, g.k) {
+			t.Errorf("alpha=%v: K = %v, golden %v", g.alpha, k, g.k)
+		}
+	}
+}
+
+func TestKAlphaAgainstDefiningFormula(t *testing.T) {
+	// Independent recomputation at a denser alpha grid than the golden
+	// table, straight from the Lemma 2 definition: the annulus of Lemma 1
+	// widened by one unit-box half-diagonal on each side, divided by the
+	// unit box volume.
+	for alpha := 0.05; alpha < 1; alpha += 0.01 {
+		h := math.Sqrt(3) / 2
+		outer := 2/alpha + math.Sqrt(3)/2 + h
+		inner := 1/alpha - h
+		if inner < 0 {
+			inner = 0
+		}
+		want := 4 * math.Pi / 3 * (outer*outer*outer - inner*inner*inner)
+		if got := MaxInteractionsPerSize(alpha); !close2(got, want) {
+			t.Fatalf("alpha=%v: K = %v, formula %v", alpha, got, want)
+		}
+	}
+}
+
+func TestUniformGrowthAgainstGolden(t *testing.T) {
+	for _, g := range constGolden {
+		if c := UniformGrowthPerLevel(g.alpha); !close2(c, g.growth) {
+			t.Errorf("alpha=%v: growth = %v, golden %v", g.alpha, c, g.growth)
+		}
+	}
+}
+
+func TestTheorem2BoundAgainstDefinition(t *testing.T) {
+	// AlphaBound and WorstCaseBound must stay exactly the Theorem 2
+	// expressions; recompute from the printed formulas.
+	for _, g := range constGolden {
+		A, a, r := 3.5, 0.25, 1.75
+		for p := 0; p <= 12; p += 3 {
+			want := A * math.Pow(g.alpha, float64(p+1)) / (r * (1 - g.alpha))
+			if got := AlphaBound(A, r, g.alpha, p); !close2(got, want) {
+				t.Errorf("alpha=%v p=%d: AlphaBound %v, formula %v", g.alpha, p, got, want)
+			}
+			wantWC := A * math.Pow(g.alpha, float64(p+2)) / (a * (1 - g.alpha))
+			if got := WorstCaseBound(A, a, g.alpha, p); !close2(got, wantWC) {
+				t.Errorf("alpha=%v p=%d: WorstCaseBound %v, formula %v", g.alpha, p, got, wantWC)
+			}
+		}
+	}
+}
+
+func TestDegreeSelectorStabilityClamp(t *testing.T) {
+	// A cluster heavy enough to request a degree beyond the float64
+	// Legendre limit is clamped at the cap and the event is counted.
+	sel := NewDegreeSelector(0.5, 4, 200, 1, 1)
+	if got := sel.StabilityCap(); got != legendre.MaxAccurateDegree {
+		t.Fatalf("stability cap %d, want %d", got, legendre.MaxAccurateDegree)
+	}
+	// ratio = A/ARef * SRef/s = 2^40 at A=2^40, s=1: raw degree 4+40 = 44.
+	p := sel.Degree(math.Pow(2, 40), 1)
+	if p != legendre.MaxAccurateDegree {
+		t.Fatalf("degree %d not clamped to %d", p, legendre.MaxAccurateDegree)
+	}
+	if sel.ClampCount() != 1 {
+		t.Fatalf("clamp count %d, want 1", sel.ClampCount())
+	}
+	// A modest cluster is untouched and does not count.
+	if p := sel.Degree(4, 1); p != 4+2 { // ratio 4 -> extra = log2(4) = 2
+		t.Fatalf("unclamped degree %d, want 6", p)
+	}
+	if sel.ClampCount() != 1 {
+		t.Fatalf("clamp count moved on unclamped selection: %d", sel.ClampCount())
+	}
+	// The user's PMax still applies when it is tighter than the cap.
+	tight := NewDegreeSelector(0.5, 4, 10, 1, 1)
+	if p := tight.Degree(math.Pow(2, 40), 1); p != 10 {
+		t.Fatalf("PMax clamp broken: %d", p)
+	}
+	if tight.ClampCount() != 0 {
+		t.Fatal("PMax clamp must not count as a stability clamp")
+	}
+	// An explicit PMin above the cap is honored (user floor wins).
+	floor := NewDegreeSelector(0.5, 40, 60, 1, 1)
+	if got := floor.StabilityCap(); got != 40 {
+		t.Fatalf("floor stability cap %d, want 40", got)
+	}
+	if p := floor.Degree(0.5, 1); p != 40 {
+		t.Fatalf("PMin floor broken: %d", p)
+	}
+}
+
+func TestDegreeForErrorClampedAtLegendreLimit(t *testing.T) {
+	// An absurd accuracy target would need p >> 30; the clamp keeps the
+	// answer at the largest degree float64 can actually deliver.
+	if p := DegreeForError(1e6, 1e-3, 0.9, 1e-300); p != legendre.MaxAccurateDegree {
+		t.Fatalf("DegreeForError not clamped: %d", p)
+	}
+	// Reachable targets are unchanged (minimality re-checked here).
+	p := DegreeForError(2, 0.5, 0.5, 1e-4)
+	if WorstCaseBound(2, 0.5, 0.5, p) > 1e-4*(1+1e-9) {
+		t.Fatalf("degree %d misses reachable target", p)
+	}
+	if p > 0 && WorstCaseBound(2, 0.5, 0.5, p-1) <= 1e-4 {
+		t.Fatalf("degree %d not minimal", p)
+	}
+}

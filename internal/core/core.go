@@ -30,6 +30,7 @@ import (
 	"treecode/internal/harmonics"
 	"treecode/internal/mac"
 	"treecode/internal/multipole"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/tree"
 	"treecode/internal/vec"
@@ -91,6 +92,13 @@ type Config struct {
 	// clusters at the minimum degree, trading error for terms. Only used
 	// by the Adaptive method.
 	RefQuantile float64
+	// Obs attaches an observability collector: phase spans around tree
+	// build, degree selection, expansion build and evaluation, plus
+	// per-interaction metrics (MAC accept/reject per level, degree
+	// histogram, opening ratios, Theorem 2 budget) gathered in per-worker
+	// shards. Nil (the default) disables all recording; the hot path then
+	// pays a single nil check per interaction.
+	Obs *obs.Collector
 }
 
 func (c *Config) fill() {
@@ -183,17 +191,26 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 		return nil, err
 	}
 	start := time.Now()
+	bsp := cfg.Obs.Start("core/build")
 	build := tree.Build
 	if cfg.MortonTree {
 		build = tree.BuildMorton
 	}
+	sp := bsp.Child("tree")
 	tr, err := build(set, tree.Config{LeafCap: cfg.LeafCap})
+	sp.End()
 	if err != nil {
+		bsp.End()
 		return nil, err
 	}
 	e := &Evaluator{Cfg: cfg, Tree: tr, upDegree: make(map[*tree.Node]int, tr.NNodes)}
+	sp = bsp.Child("degrees")
 	e.selectDegrees()
+	sp.End()
+	sp = bsp.Child("expansions")
 	e.buildExpansions()
+	sp.End()
+	bsp.End()
 	e.buildT = time.Since(start)
 	return e, nil
 }
@@ -221,6 +238,11 @@ func (e *Evaluator) selectDegrees() {
 			n.Degree = e.Cfg.Degree
 		}
 	})
+	if sel != nil {
+		// Surface silent accuracy loss: selections stopped at the Legendre
+		// stability cap show up in the metrics instead of vanishing.
+		e.Cfg.Obs.AddDegreeClamps(sel.ClampCount())
+	}
 	// Upward-carry degree: expansions must be accurate enough for every
 	// ancestor's M2M, so carry max(own, parent's carry).
 	var down func(n *tree.Node, carry int)
@@ -274,6 +296,8 @@ func (e *Evaluator) SetCharges(q []float64) error {
 	if len(q) != len(t.Q) {
 		return fmt.Errorf("core: %d charges for %d particles", len(q), len(t.Q))
 	}
+	sp := e.Cfg.Obs.Start("core/recharge")
+	defer sp.End()
 	for i, orig := range t.Perm {
 		t.Q[i] = q[orig]
 	}
@@ -308,13 +332,15 @@ func (e *Evaluator) PotentialsWithWorkers(workers int) ([]float64, *Stats) {
 	n := len(t.Pos)
 	out := make([]float64, n)
 	stats := e.newStats()
+	sp := e.Cfg.Obs.Start("core/potentials")
 	start := time.Now()
 	e.parallelChunks(n, workers, func(lo, hi int, w *worker) {
 		for i := lo; i < hi; i++ {
 			out[t.Perm[i]] = w.potential(t.Pos[i], i)
 		}
-	}, stats)
+	}, stats, sp)
 	stats.EvalTime = time.Since(start)
+	sp.End()
 	return out, stats
 }
 
@@ -323,13 +349,15 @@ func (e *Evaluator) PotentialsWithWorkers(workers int) ([]float64, *Stats) {
 func (e *Evaluator) PotentialsAt(targets []vec.V3) ([]float64, *Stats) {
 	out := make([]float64, len(targets))
 	stats := e.newStats()
+	sp := e.Cfg.Obs.Start("core/potentials-at")
 	start := time.Now()
 	e.parallelChunks(len(targets), e.Cfg.Workers, func(lo, hi int, w *worker) {
 		for i := lo; i < hi; i++ {
 			out[i] = w.potential(targets[i], -1)
 		}
-	}, stats)
+	}, stats, sp)
 	stats.EvalTime = time.Since(start)
+	sp.End()
 	return out, stats
 }
 
@@ -341,6 +369,7 @@ func (e *Evaluator) Fields() ([]float64, []vec.V3, *Stats) {
 	phi := make([]float64, n)
 	field := make([]vec.V3, n)
 	stats := e.newStats()
+	sp := e.Cfg.Obs.Start("core/fields")
 	start := time.Now()
 	e.parallelChunks(n, e.Cfg.Workers, func(lo, hi int, w *worker) {
 		for i := lo; i < hi; i++ {
@@ -348,8 +377,9 @@ func (e *Evaluator) Fields() ([]float64, []vec.V3, *Stats) {
 			phi[t.Perm[i]] = p
 			field[t.Perm[i]] = f
 		}
-	}, stats)
+	}, stats, sp)
 	stats.EvalTime = time.Since(start)
+	sp.End()
 	return phi, field, stats
 }
 
@@ -370,11 +400,14 @@ func (e *Evaluator) newStats() *Stats {
 	return s
 }
 
-// worker holds per-goroutine scratch state.
+// worker holds per-goroutine scratch state. shard is the worker's private
+// observability accumulator (nil when obs is disabled); the single
+// `w.shard != nil` branch is the hot path's whole obs cost in that case.
 type worker struct {
 	e     *Evaluator
 	buf   []complex128
 	stats Stats
+	shard *obs.Shard
 }
 
 func (e *Evaluator) newWorker() *worker {
@@ -384,12 +417,17 @@ func (e *Evaluator) newWorker() *worker {
 			maxP = d
 		}
 	}
-	return &worker{e: e, buf: make([]complex128, harmonics.Len(maxP+1))}
+	return &worker{
+		e:     e,
+		buf:   make([]complex128, harmonics.Len(maxP+1)),
+		shard: e.Cfg.Obs.NewShard(),
+	}
 }
 
 // parallelChunks runs body over [0,n) in ChunkSize blocks on the given
-// number of goroutines and merges per-worker stats.
-func (e *Evaluator) parallelChunks(n, workers int, body func(lo, hi int, w *worker), stats *Stats) {
+// number of goroutines and merges per-worker stats (and, when obs is
+// enabled, per-worker metric shards and spans under parent).
+func (e *Evaluator) parallelChunks(n, workers int, body func(lo, hi int, w *worker), stats *Stats, parent *obs.Span) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -399,6 +437,7 @@ func (e *Evaluator) parallelChunks(n, workers int, body func(lo, hi int, w *work
 		workers = nChunks
 	}
 	if workers <= 1 {
+		sp := parent.ChildWorker("worker", 0)
 		w := e.newWorker()
 		for lo := 0; lo < n; lo += chunk {
 			hi := lo + chunk
@@ -408,6 +447,8 @@ func (e *Evaluator) parallelChunks(n, workers int, body func(lo, hi int, w *work
 			body(lo, hi, w)
 		}
 		stats.add(&w.stats)
+		w.shard.Merge()
+		sp.End()
 		return
 	}
 	var next atomic.Int64
@@ -415,8 +456,9 @@ func (e *Evaluator) parallelChunks(n, workers int, body func(lo, hi int, w *work
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
+			sp := parent.ChildWorker("worker", g)
 			w := e.newWorker()
 			for {
 				c := next.Add(1) - 1
@@ -433,7 +475,9 @@ func (e *Evaluator) parallelChunks(n, workers int, body func(lo, hi int, w *work
 			mu.Lock()
 			stats.add(&w.stats)
 			mu.Unlock()
-		}()
+			w.shard.Merge()
+			sp.End()
+		}(g)
 	}
 	wg.Wait()
 }
@@ -457,11 +501,18 @@ func (w *worker) walk(n *tree.Node, x vec.V3, self int) float64 {
 			w.stats.MaxDegree = p
 		}
 		w.stats.BoundSum += n.Mp.BoundAt(x, p)
+		if w.shard != nil {
+			w.recordAccept(n, x, p)
+		}
 		return n.Mp.EvaluatePrefix(x, p, w.buf)
+	}
+	if w.shard != nil {
+		w.shard.Reject(n.Level)
 	}
 	if n.IsLeaf() {
 		t := e.Tree
 		var phi float64
+		var pp int64
 		for j := n.Start; j < n.End; j++ {
 			if j == self {
 				continue
@@ -471,7 +522,11 @@ func (w *worker) walk(n *tree.Node, x vec.V3, self int) float64 {
 				continue // coincident target and source: skip, as direct does
 			}
 			phi += t.Q[j] / r
-			w.stats.PP++
+			pp++
+		}
+		w.stats.PP += pp
+		if w.shard != nil {
+			w.shard.Direct(n.Level, pp)
 		}
 		return phi
 	}
@@ -480,6 +535,21 @@ func (w *worker) walk(n *tree.Node, x vec.V3, self int) float64 {
 		phi += w.walk(c, x, self)
 	}
 	return phi
+}
+
+// recordAccept feeds one accepted interaction to the worker's obs shard:
+// level, degree, series terms, the opening ratio a/r actually realized,
+// and the Theorem 2 predicted bound A alpha^{p+1}/(r(1-alpha)). Only
+// called when the shard exists, so the distance is not recomputed on
+// un-instrumented runs.
+func (w *worker) recordAccept(n *tree.Node, x vec.V3, p int) {
+	r := x.Dist(n.Center)
+	ratio := 0.0
+	if r > 0 {
+		ratio = n.Radius / r
+	}
+	w.shard.Accept(n.Level, p, multipole.Terms(p), ratio,
+		bounds.AlphaBound(n.AbsCharge, r, w.e.Cfg.Alpha, p))
 }
 
 // field evaluates potential and field E = -grad(phi) at x.
@@ -499,13 +569,20 @@ func (w *worker) walkField(n *tree.Node, x vec.V3, self int) (float64, vec.V3) {
 		if p > w.stats.MaxDegree {
 			w.stats.MaxDegree = p
 		}
+		if w.shard != nil {
+			w.recordAccept(n, x, p)
+		}
 		phi, grad := n.Mp.EvaluateFieldBuf(x, p, w.buf)
 		return phi, grad.Neg()
+	}
+	if w.shard != nil {
+		w.shard.Reject(n.Level)
 	}
 	if n.IsLeaf() {
 		t := e.Tree
 		var phi float64
 		var f vec.V3
+		var pp int64
 		for j := n.Start; j < n.End; j++ {
 			if j == self {
 				continue
@@ -518,7 +595,11 @@ func (w *worker) walkField(n *tree.Node, x vec.V3, self int) (float64, vec.V3) {
 			invR := 1 / math.Sqrt(r2)
 			phi += t.Q[j] * invR
 			f = f.Add(d.Scale(t.Q[j] * invR / r2))
-			w.stats.PP++
+			pp++
+		}
+		w.stats.PP += pp
+		if w.shard != nil {
+			w.shard.Direct(n.Level, pp)
 		}
 		return phi, f
 	}

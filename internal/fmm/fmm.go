@@ -32,6 +32,7 @@ import (
 	"treecode/internal/bounds"
 	"treecode/internal/core"
 	"treecode/internal/multipole"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/tree"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	// (the traversal itself and the downward pass are cheap). 0 means
 	// GOMAXPROCS. Results are identical for any worker count.
 	Workers int
+	// Obs attaches an observability collector recording phase spans for
+	// the build (tree, degrees, upward) and evaluation (traverse, M2L,
+	// P2P, downward) passes. Nil disables recording. The collector also
+	// receives Theorem 3 degree-clamp counts for the adaptive method.
+	Obs *obs.Collector
 }
 
 func (c *Config) fill() {
@@ -131,8 +137,12 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 		return nil, err
 	}
 	start := time.Now()
+	bsp := cfg.Obs.Start("fmm/build")
+	sp := bsp.Child("tree")
 	tr, err := tree.Build(set, tree.Config{LeafCap: cfg.LeafCap})
+	sp.End()
 	if err != nil {
+		bsp.End()
 		return nil, err
 	}
 	e := &Evaluator{
@@ -140,8 +150,13 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 		Tree:     tr,
 		upDegree: make(map[*tree.Node]int, tr.NNodes),
 	}
+	sp = bsp.Child("degrees")
 	e.selectDegrees()
+	sp.End()
+	sp = bsp.Child("upward")
 	e.upward()
+	sp.End()
+	bsp.End()
 	e.buildT = time.Since(start)
 	return e, nil
 }
@@ -160,6 +175,9 @@ func (e *Evaluator) selectDegrees() {
 			n.Degree = e.Cfg.Degree
 		}
 	})
+	if sel != nil {
+		e.Cfg.Obs.AddDegreeClamps(sel.ClampCount())
+	}
 	var down func(n *tree.Node, carry int)
 	down = func(n *tree.Node, carry int) {
 		if n.Degree > carry {
@@ -219,10 +237,20 @@ func (e *Evaluator) Potentials() ([]float64, *Stats) {
 		m2lTasks: make(map[*tree.Node][]*tree.Node),
 		p2pTasks: make(map[*tree.Node][]*tree.Node),
 	}
+	esp := e.Cfg.Obs.Start("fmm/eval")
+	sp := esp.Child("traverse")
 	s.traverse(t.Root, t.Root, st)
+	sp.End()
+	sp = esp.Child("m2l")
 	s.runM2L(st)
+	sp.End()
+	sp = esp.Child("p2p")
 	s.runP2P(out, st)
+	sp.End()
+	sp = esp.Child("downward")
 	s.downward(t.Root, nil, out, st)
+	sp.End()
+	esp.End()
 
 	st.EvalTime = time.Since(start)
 	// Permute back to original order.

@@ -11,6 +11,16 @@ package legendre
 
 import "math"
 
+// MaxAccurateDegree is the largest multipole degree the float64 Legendre
+// recurrences (and the factorial scalings built on them in
+// internal/harmonics) support at full accuracy. Beyond p ~ 30 the
+// alternating three-term recurrence loses digits near |x| = 1 and the
+// (n+m)! normalization factors approach the float64 range limit, so the
+// high-order series terms are noise: a larger degree costs more work while
+// silently adding error. Degree selection in internal/bounds clamps to
+// this cap and counts the clamp events in the observability metrics.
+const MaxAccurateDegree = 30
+
 // P returns P_n^m(x) for 0 <= m <= n and -1 <= x <= 1, computed by the
 // standard stable recurrences (diagonal, then upward in degree).
 func P(n, m int, x float64) float64 {

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"treecode/internal/cliio"
+)
+
+// LevelData is the exported per-level metric row (LevelMetrics plus its
+// level index, so the JSON is self-describing).
+type LevelData struct {
+	Level int `json:"level"`
+	LevelMetrics
+}
+
+// RatioData is the exported form of RatioStats with the mean materialized.
+type RatioData struct {
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+	N    int64   `json:"n"`
+}
+
+// MetricsData is the exported form of Metrics.
+type MetricsData struct {
+	Levels       []LevelData      `json:"levels"`
+	DegreeHist   map[string]int64 `json:"degree_hist"`
+	OpenRatio    RatioData        `json:"open_ratio"`
+	DegreeClamps int64            `json:"degree_clamps"`
+	Accepts      int64            `json:"accepts"`
+	Rejects      int64            `json:"rejects"`
+	M2PTerms     int64            `json:"m2p_terms"`
+	PPPairs      int64            `json:"pp_pairs"`
+	BudgetTotal  float64          `json:"budget_total"`
+}
+
+// Snapshot is the full exported state of a collector: the span forest and
+// the merged metrics.
+type Snapshot struct {
+	Spans   []SpanData  `json:"spans"`
+	Metrics MetricsData `json:"metrics"`
+}
+
+// Snapshot exports the collector state. Nil-safe: a nil collector yields
+// an empty snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	m := c.Metrics()
+	md := MetricsData{
+		DegreeHist:   map[string]int64{},
+		DegreeClamps: m.DegreeClamps,
+		Accepts:      m.Accepts(),
+		Rejects:      m.Rejects(),
+		M2PTerms:     m.M2PTerms(),
+		PPPairs:      m.PPPairs(),
+		BudgetTotal:  m.BudgetTotal(),
+	}
+	ratio := RatioData{Min: m.OpenRatio.Min, Max: m.OpenRatio.Max, N: m.OpenRatio.N}
+	if m.OpenRatio.N > 0 {
+		ratio.Mean = m.OpenRatio.Mean()
+	}
+	md.OpenRatio = ratio
+	for l, lm := range m.Levels {
+		if lm == (LevelMetrics{}) {
+			continue
+		}
+		md.Levels = append(md.Levels, LevelData{Level: l, LevelMetrics: lm})
+	}
+	for p, n := range m.DegreeHist {
+		if n != 0 {
+			md.DegreeHist[fmt.Sprintf("%d", p)] = n
+		}
+	}
+	return Snapshot{Spans: c.Spans(), Metrics: md}
+}
+
+// WriteJSON writes the collector snapshot as indented JSON to path ("" or
+// "-" means stdout), using the drivers' shared buffered-output helper so
+// write errors are not dropped. Nil-safe: a nil collector writes an empty
+// snapshot.
+func WriteJSON(c *Collector, path string) error {
+	if path == "-" {
+		path = ""
+	}
+	w, err := cliio.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w.W)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c.Snapshot()); err != nil {
+		_ = w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("obs: writing %s: %w", w.Name(), err)
+	}
+	return nil
+}
+
+// published maps expvar names to their current collector. The indirection
+// lets Publish rebind a name to a newer collector without tripping
+// expvar.Publish's panic on duplicate registration.
+var published = struct {
+	sync.Mutex
+	collectors map[string]*Collector
+}{collectors: map[string]*Collector{}}
+
+// Publish registers the collector under the given expvar name (e.g.
+// "treecode.obs"); repeated calls with the same name rebind the name to
+// the latest collector. Nil-safe (publishes empty snapshots).
+func (c *Collector) Publish(name string) {
+	published.Lock()
+	defer published.Unlock()
+	_, rebind := published.collectors[name]
+	published.collectors[name] = c
+	if rebind {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		published.Lock()
+		cur := published.collectors[name]
+		published.Unlock()
+		return cur.Snapshot()
+	}))
+}
+
+// Serve starts an HTTP server on addr (pass a localhost address such as
+// "127.0.0.1:6060"; an empty port picks a free one) exposing:
+//
+//	/obs          the collector snapshot as JSON
+//	/obs/spans    the human-readable span tree
+//	/debug/vars   expvar (including anything published via Publish)
+//	/debug/pprof  the standard pprof handlers
+//
+// It returns the server and the resolved listen address. The caller owns
+// the server's lifetime; for short-lived drivers it simply dies with the
+// process.
+func Serve(addr string, c *Collector) (*http.Server, string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.Snapshot()) // best-effort: client may hang up
+	})
+	mux.HandleFunc("/obs/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = fmt.Fprint(w, c.RenderSpans())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		_ = srv.Serve(ln) // ErrServerClosed on shutdown; nothing to do for a sidecar
+	}()
+	return srv, ln.Addr().String(), nil
+}

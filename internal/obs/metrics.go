@@ -1,0 +1,219 @@
+package obs
+
+import "math"
+
+// LevelMetrics aggregates the interactions recorded against tree nodes of
+// one level.
+type LevelMetrics struct {
+	Accepts  int64   `json:"accepts"`   // MAC acceptances (M2P interactions)
+	Rejects  int64   `json:"rejects"`   // MAC rejections (node was opened or summed directly)
+	M2PTerms int64   `json:"m2p_terms"` // multipole terms evaluated: sum (p+1)^2
+	PPPairs  int64   `json:"pp_pairs"`  // direct particle pairs summed at leaves of this level
+	Budget   float64 `json:"budget"`    // Theorem 2 predicted error budget: sum A alpha^{p+1}/(r(1-alpha))
+}
+
+func (l *LevelMetrics) add(o *LevelMetrics) {
+	l.Accepts += o.Accepts
+	l.Rejects += o.Rejects
+	l.M2PTerms += o.M2PTerms
+	l.PPPairs += o.PPPairs
+	l.Budget += o.Budget
+}
+
+// RatioStats tracks min/mean/max of a stream of values (the opening ratio
+// a/r of accepted interactions).
+type RatioStats struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	Sum float64 `json:"-"`
+	N   int64   `json:"n"`
+}
+
+func (r *RatioStats) add(v float64) {
+	if r.N == 0 || v < r.Min {
+		r.Min = v
+	}
+	if v > r.Max {
+		r.Max = v
+	}
+	r.Sum += v
+	r.N++
+}
+
+func (r *RatioStats) merge(o *RatioStats) {
+	if o.N == 0 {
+		return
+	}
+	if r.N == 0 || o.Min < r.Min {
+		r.Min = o.Min
+	}
+	if o.Max > r.Max {
+		r.Max = o.Max
+	}
+	r.Sum += o.Sum
+	r.N += o.N
+}
+
+// Mean returns the running mean, or NaN when nothing was recorded.
+func (r *RatioStats) Mean() float64 {
+	if r.N == 0 {
+		return math.NaN()
+	}
+	return r.Sum / float64(r.N)
+}
+
+// Metrics is the merged interaction census of a run. Levels is indexed by
+// tree level and DegreeHist by multipole degree; both grow on demand.
+type Metrics struct {
+	Levels       []LevelMetrics // per tree level
+	DegreeHist   []int64        // accepted interactions per degree
+	OpenRatio    RatioStats     // a/r over accepted interactions
+	DegreeClamps int64          // degree selections clamped at the stability cap
+}
+
+// Accepts returns the total MAC acceptances across levels.
+func (m *Metrics) Accepts() int64 {
+	var t int64
+	for i := range m.Levels {
+		t += m.Levels[i].Accepts
+	}
+	return t
+}
+
+// Rejects returns the total MAC rejections across levels.
+func (m *Metrics) Rejects() int64 {
+	var t int64
+	for i := range m.Levels {
+		t += m.Levels[i].Rejects
+	}
+	return t
+}
+
+// M2PTerms returns the total multipole terms across levels.
+func (m *Metrics) M2PTerms() int64 {
+	var t int64
+	for i := range m.Levels {
+		t += m.Levels[i].M2PTerms
+	}
+	return t
+}
+
+// PPPairs returns the total direct pairs across levels.
+func (m *Metrics) PPPairs() int64 {
+	var t int64
+	for i := range m.Levels {
+		t += m.Levels[i].PPPairs
+	}
+	return t
+}
+
+// BudgetTotal returns the summed Theorem 2 predicted budget.
+func (m *Metrics) BudgetTotal() float64 {
+	var t float64
+	for i := range m.Levels {
+		t += m.Levels[i].Budget
+	}
+	return t
+}
+
+func (m *Metrics) level(l int) *LevelMetrics {
+	if l >= len(m.Levels) {
+		grown := make([]LevelMetrics, l+1)
+		copy(grown, m.Levels)
+		m.Levels = grown
+	}
+	return &m.Levels[l]
+}
+
+func (m *Metrics) degree(p int) *int64 {
+	if p >= len(m.DegreeHist) {
+		grown := make([]int64, p+1)
+		copy(grown, m.DegreeHist)
+		m.DegreeHist = grown
+	}
+	return &m.DegreeHist[p]
+}
+
+func (m *Metrics) mergeFrom(o *Metrics) {
+	for l := range o.Levels {
+		m.level(l).add(&o.Levels[l])
+	}
+	for p, c := range o.DegreeHist {
+		if c != 0 {
+			*m.degree(p) += c
+		}
+	}
+	m.OpenRatio.merge(&o.OpenRatio)
+	m.DegreeClamps += o.DegreeClamps
+}
+
+func (m *Metrics) clone() Metrics {
+	out := *m
+	out.Levels = append([]LevelMetrics(nil), m.Levels...)
+	out.DegreeHist = append([]int64(nil), m.DegreeHist...)
+	return out
+}
+
+// Shard is one worker's private metric accumulator. Recording methods use
+// plain counters — no locks, no atomics — so the hot path never contends;
+// the worker folds the shard into the collector once with Merge when it
+// finishes. A nil *Shard (from a nil collector) ignores all calls, but the
+// evaluators still guard recording with a single outer nil check so the
+// argument computation (distances, bounds) is skipped too.
+type Shard struct {
+	c *Collector
+	m Metrics
+}
+
+// NewShard hands out a private accumulator for one worker. Nil-safe: a nil
+// collector returns a nil shard.
+func (c *Collector) NewShard() *Shard {
+	if c == nil {
+		return nil
+	}
+	return &Shard{c: c}
+}
+
+// Accept records one accepted (M2P) cluster interaction: the cluster's
+// tree level, the evaluation degree, the series terms it evaluates, the
+// opening ratio a/r, and the Theorem 2 predicted bound.
+func (s *Shard) Accept(level, degree int, terms int64, openRatio, budget float64) {
+	if s == nil {
+		return
+	}
+	lm := s.m.level(level)
+	lm.Accepts++
+	lm.M2PTerms += terms
+	lm.Budget += budget
+	*s.m.degree(degree)++
+	s.m.OpenRatio.add(openRatio)
+}
+
+// Reject records one MAC rejection at the given tree level.
+func (s *Shard) Reject(level int) {
+	if s == nil {
+		return
+	}
+	s.m.level(level).Rejects++
+}
+
+// Direct records pairs direct particle-particle interactions against a
+// leaf at the given tree level.
+func (s *Shard) Direct(level int, pairs int64) {
+	if s == nil || pairs == 0 {
+		return
+	}
+	s.m.level(level).PPPairs += pairs
+}
+
+// Merge folds the shard into its collector and resets it for reuse.
+// Nil-safe.
+func (s *Shard) Merge() {
+	if s == nil {
+		return
+	}
+	s.c.mu.Lock()
+	s.c.metrics.mergeFrom(&s.m)
+	s.c.mu.Unlock()
+	s.m = Metrics{}
+}

@@ -1,0 +1,79 @@
+// Package obs is the treecode's observability layer: phase spans, sharded
+// interaction metrics, and error-budget counters, collected behind the
+// evaluators and surfaced by the command-line drivers.
+//
+// The design follows two rules the hot paths demand:
+//
+//  1. Disabled means free. Every entry point is nil-safe: a nil *Collector
+//     hands out nil spans and nil shards, and all recording methods are
+//     no-ops on nil receivers. The evaluators guard their recording with a
+//     single nil check, so an un-instrumented run pays one predictable
+//     branch per interaction and nothing else.
+//
+//  2. Hot-path recording never contends. Workers record interaction
+//     metrics into private Shards (plain counters, no atomics, no locks)
+//     and fold them into the Collector once, when the worker finishes.
+//     Spans are coarse — one per phase or per worker, not per interaction —
+//     so they may share the collector's mutex.
+//
+// The Collector aggregates three kinds of telemetry:
+//
+//   - Spans: nested begin/end timings of the evaluator phases (tree build,
+//     degree selection, expansion build, evaluation) and per-worker
+//     evaluation slices, rendered as a human-readable tree or exported as
+//     a JSON trace.
+//
+//   - Metrics: per-tree-level MAC accept/reject counters, the multipole
+//     degree histogram, M2P term and P2P pair counts, min/mean/max opening
+//     ratio a/r of accepted interactions, the per-level Theorem 2
+//     predicted error budget, and the degree-overflow clamp count.
+//
+//   - Snapshots: a JSON document of everything above, written to a file
+//     (-obsjson in every driver) or served over localhost HTTP alongside
+//     expvar and net/http/pprof (-obsaddr in cmd/sweep and cmd/nbody).
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Collector is the root of one run's telemetry. The zero value is not
+// usable; construct with New. A nil *Collector is the disabled state: all
+// methods are safe to call and do nothing.
+type Collector struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	roots   []*Span
+	metrics Metrics
+}
+
+// New returns an empty enabled collector whose span clock starts now.
+func New() *Collector {
+	return &Collector{epoch: time.Now()}
+}
+
+// Enabled reports whether the collector records anything (i.e. is non-nil).
+func (c *Collector) Enabled() bool { return c != nil }
+
+// AddDegreeClamps adds n degree-overflow clamp events (selections limited
+// by the Legendre stability cap) to the metrics. Nil-safe.
+func (c *Collector) AddDegreeClamps(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.metrics.DegreeClamps += n
+	c.mu.Unlock()
+}
+
+// Metrics returns a deep copy of the merged interaction metrics. Nil-safe:
+// a nil collector yields the zero Metrics.
+func (c *Collector) Metrics() Metrics {
+	if c == nil {
+		return Metrics{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics.clone()
+}

@@ -1,0 +1,77 @@
+package obs
+
+// Race exercise: many workers recording into private shards and nested
+// spans while another goroutine snapshots continuously. Run with
+// `go test -race ./internal/obs/...`; the design claim is that shards are
+// race-free by construction (private until Merge) and spans serialize on
+// the collector mutex.
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentWorkersRace(t *testing.T) {
+	c := New()
+	const workers = 8
+	const events = 2000
+
+	eval := c.Start("eval")
+	done := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = c.Snapshot()
+			_ = c.RenderSpans()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ws := eval.ChildWorker("worker", w)
+			sh := c.NewShard()
+			for i := 0; i < events; i++ {
+				lvl := i % 7
+				sh.Accept(lvl, 3+i%5, 25, 0.4, 1e-6)
+				sh.Reject(lvl)
+				sh.Direct(lvl, 3)
+				if i%500 == 0 {
+					sub := ws.Child("chunk")
+					sub.End()
+				}
+			}
+			sh.Merge()
+			c.AddDegreeClamps(1)
+			ws.End()
+		}(w)
+	}
+	wg.Wait()
+	eval.End()
+	close(done)
+	snaps.Wait()
+
+	m := c.Metrics()
+	if m.Accepts() != workers*events || m.Rejects() != workers*events {
+		t.Fatalf("lost events: accepts=%d rejects=%d want %d", m.Accepts(), m.Rejects(), workers*events)
+	}
+	if m.PPPairs() != int64(workers*events*3) {
+		t.Fatalf("lost direct pairs: %d", m.PPPairs())
+	}
+	if m.DegreeClamps != workers {
+		t.Fatalf("lost clamp events: %d", m.DegreeClamps)
+	}
+	spans := c.Spans()
+	if len(spans) != 1 || len(spans[0].Children) != workers {
+		t.Fatalf("span forest malformed: %d roots", len(spans))
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"treecode/internal/core"
+	"treecode/internal/obs"
 	"treecode/internal/tree"
 )
 
@@ -93,6 +94,11 @@ type Report struct {
 	CommPer    []float64 // per-processor communication cost
 	CommWords  float64   // total remote coefficient words fetched
 	Imbalance  float64   // max work / mean work
+	// Phases holds the wall-clock durations of the simulator's own passes
+	// (profile, place, tally) — the span data of the simulation itself,
+	// always populated, mirrored into the obs collector when one is given
+	// to SimulateTraced.
+	Phases []obs.PhaseTiming
 }
 
 // chunkProfile is the measured cost signature of one chunk of targets.
@@ -105,6 +111,13 @@ type chunkProfile struct {
 // evaluator's own particles in tree (proximity) order, grouped into chunks
 // of w, placed on procs processors.
 func Simulate(e *core.Evaluator, procs, w int, sched Schedule, model CostModel) (*Report, error) {
+	return SimulateTraced(e, procs, w, sched, model, nil)
+}
+
+// SimulateTraced is Simulate with an observability collector: the
+// simulator's profile / place / tally passes are recorded as nested spans
+// (and always mirrored into Report.Phases, collector or not).
+func SimulateTraced(e *core.Evaluator, procs, w int, sched Schedule, model CostModel, col *obs.Collector) (*Report, error) {
 	if procs <= 0 {
 		return nil, fmt.Errorf("parallel: procs must be positive, got %d", procs)
 	}
@@ -112,11 +125,20 @@ func Simulate(e *core.Evaluator, procs, w int, sched Schedule, model CostModel) 
 		w = 64
 	}
 	model.fill()
+	root := col.Start("parallel/simulate")
+	defer root.End()
+	var phases []obs.PhaseTiming
+	phaseStart := time.Now()
+	endPhase := func(name string) {
+		phases = append(phases, obs.PhaseTiming{Name: name, Dur: time.Since(phaseStart)})
+		phaseStart = time.Now()
+	}
 	t := e.Tree
 	n := len(t.Pos)
 	nChunks := (n + w - 1) / w
 
 	// Profile every chunk.
+	sp := root.Child("profile")
 	profiles := make([]chunkProfile, nChunks)
 	for c := range profiles {
 		lo, hi := c*w, (c+1)*w
@@ -134,9 +156,15 @@ func Simulate(e *core.Evaluator, procs, w int, sched Schedule, model CostModel) 
 		}
 		profiles[c] = p
 	}
+	sp.End()
+	endPhase("profile")
 
 	// Place chunks on processors.
+	sp = root.Child("place")
 	owner := placeChunks(profiles, procs, sched)
+	sp.End()
+	endPhase("place")
+	sp = root.Child("tally")
 
 	// Node homes: the processor owning the chunk containing the node's
 	// first particle owns the node's expansion.
@@ -194,6 +222,9 @@ func Simulate(e *core.Evaluator, procs, w int, sched Schedule, model CostModel) 
 		}
 		rep.Imbalance = mw / mean
 	}
+	sp.End()
+	endPhase("tally")
+	rep.Phases = phases
 	return rep, nil
 }
 
@@ -239,9 +270,19 @@ func placeChunks(profiles []chunkProfile, procs int, sched Schedule) []int {
 // worker count is passed per-call, so Measure never mutates the evaluator
 // and is safe to run concurrently with other evaluations.
 func Measure(e *core.Evaluator, workers int) time.Duration {
+	return MeasureTraced(e, workers, nil)
+}
+
+// MeasureTraced is Measure with an observability collector: the timed
+// evaluation is wrapped in a "parallel/measure" span (the evaluator's own
+// phase spans, if it carries a collector, nest independently).
+func MeasureTraced(e *core.Evaluator, workers int, col *obs.Collector) time.Duration {
+	sp := col.Start("parallel/measure")
 	start := time.Now()
 	e.PotentialsWithWorkers(workers)
-	return time.Since(start)
+	d := time.Since(start)
+	sp.End()
+	return d
 }
 
 func min(a, b int) int {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"treecode/internal/core"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 )
 
@@ -47,4 +48,71 @@ func TestSimulateRace(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestTracedSharedCollectorRace drives SimulateTraced and MeasureTraced from
+// several goroutines into ONE collector while another goroutine repeatedly
+// snapshots it (run with -race). The span data must survive intact: every
+// simulate/measure call leaves exactly one finished root span.
+func TestTracedSharedCollectorRace(t *testing.T) {
+	set, err := points.Generate(points.Uniform, 400, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(set, core.Config{Method: core.Original, Degree: 3, Alpha: 0.5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.New()
+
+	const simRuns, measRuns = 3, 3
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = col.Spans()
+				_ = col.RenderSpans()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(simRuns + measRuns)
+	for i := 0; i < simRuns; i++ {
+		go func() {
+			defer wg.Done()
+			if _, err := SimulateTraced(e, 4, 16, Dynamic, CostModel{}, col); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	for i := 0; i < measRuns; i++ {
+		go func() {
+			defer wg.Done()
+			if d := MeasureTraced(e, 2, col); d <= 0 {
+				t.Errorf("MeasureTraced returned %v", d)
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+
+	var sims, meas int
+	for _, s := range col.Spans() {
+		switch s.Name {
+		case "parallel/simulate":
+			sims++
+			if s.Running {
+				t.Error("simulate span left running")
+			}
+		case "parallel/measure":
+			meas++
+		}
+	}
+	if sims != simRuns || meas != measRuns {
+		t.Fatalf("span census %d/%d, want %d/%d", sims, meas, simRuns, measRuns)
+	}
 }
