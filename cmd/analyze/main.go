@@ -30,6 +30,7 @@ func main() {
 	dist := flag.String("dist", "uniform", "distribution")
 	n := flag.Int("n", 20000, "particles")
 	method := flag.String("method", "adaptive", "original|adaptive")
+	eval := flag.String("eval", "walk", "evaluation mode: walk|batched")
 	degree := flag.Int("degree", 4, "degree / adaptive minimum")
 	alpha := flag.Float64("alpha", 0.5, "acceptance parameter")
 	stride := flag.Int("stride", 37, "profile every stride-th particle")
@@ -42,7 +43,12 @@ func main() {
 	if *method == "adaptive" {
 		m = core.Adaptive
 	}
-	cfg := core.Config{Method: m, Degree: *degree, Alpha: *alpha}
+	ev, err := core.ParseEvalMode(*eval)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := core.Config{Method: m, Eval: ev, Degree: *degree, Alpha: *alpha}
 	var col *obs.Collector // nil keeps the evaluator uninstrumented
 	if *obsOn || *obsJSON != "" {
 		col = obs.New()

@@ -1,0 +1,216 @@
+// Command benchjson records the walk-vs-batched benchmark trajectory as a
+// machine-readable JSON document (BENCH_treecode.json at the repo root).
+// For every (distribution, n, workers, eval mode) cell it builds the same
+// evaluator, times repeated potential evaluations, and reports the paper's
+// cost counters next to the wall-clock numbers; per (distribution, n,
+// workers) pair it derives the batched-over-walk speedup and the relative
+// drift between the two modes (which share the exact same interaction set,
+// so the drift is pure summation-order roundoff). For sizes up to -maxdirect
+// it also measures the true relative error and the Theorem 2 bound sum
+// against O(n^2) direct summation.
+//
+// The checked-in BENCH_treecode.json is produced by the default flags; CI
+// runs the short variant (-sizes 2000,8000 -reps 1) and uploads the result
+// as an artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"treecode/internal/cliio"
+	"treecode/internal/core"
+	"treecode/internal/direct"
+	"treecode/internal/points"
+	"treecode/internal/stats"
+)
+
+type result struct {
+	Dist      string  `json:"dist"`
+	N         int     `json:"n"`
+	Mode      string  `json:"mode"`
+	Workers   int     `json:"workers"`
+	BuildMS   float64 `json:"build_ms"`
+	EvalMS    float64 `json:"eval_ms"` // best of -reps
+	Terms     int64   `json:"terms"`
+	PC        int64   `json:"pc"`
+	PP        int64   `json:"pp"`
+	MaxDegree int     `json:"max_degree"`
+	BoundSum  float64 `json:"bound_sum"`
+	// RelErrDirect is the relative 2-norm error against direct summation,
+	// present only when n <= -maxdirect.
+	RelErrDirect *float64 `json:"rel_err_direct,omitempty"`
+}
+
+type pair struct {
+	Dist       string  `json:"dist"`
+	N          int     `json:"n"`
+	Workers    int     `json:"workers"`
+	Speedup    float64 `json:"speedup_batched_over_walk"`
+	RelDrift   float64 `json:"rel_drift_batched_vs_walk"`
+	WalkMS     float64 `json:"walk_eval_ms"`
+	BatchedMS  float64 `json:"batched_eval_ms"`
+	BoundRatio float64 `json:"bound_sum_ratio"` // batched/walk; 1 up to roundoff
+}
+
+type doc struct {
+	Schema     string   `json:"schema"`
+	Go         string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp"`
+	Method     string   `json:"method"`
+	Alpha      float64  `json:"alpha"`
+	Degree     int      `json:"degree"`
+	Reps       int      `json:"reps"`
+	Seed       int64    `json:"seed"`
+	Results    []result `json:"results"`
+	Pairs      []pair   `json:"pairs"`
+}
+
+func main() {
+	dists := flag.String("dists", "uniform,gaussian", "comma-separated distributions")
+	sizes := flag.String("sizes", "10000,100000", "comma-separated particle counts")
+	alpha := flag.Float64("alpha", 0.5, "acceptance parameter")
+	degree := flag.Int("degree", 4, "multipole degree")
+	method := flag.String("method", "adaptive", "original or adaptive")
+	reps := flag.Int("reps", 2, "evaluations per cell (best is reported)")
+	seed := flag.Int64("seed", 42, "point-set seed")
+	maxDirect := flag.Int("maxdirect", 20000, "largest n to check against direct summation")
+	out := flag.String("o", "BENCH_treecode.json", "output file (- for stdout)")
+	flag.Parse()
+
+	m := core.Original
+	if strings.TrimSpace(*method) == "adaptive" {
+		m = core.Adaptive
+	}
+	if err := (core.Config{Method: m, Alpha: *alpha, Degree: *degree}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Serial and full-machine worker counts (deduplicated on 1-CPU hosts).
+	workerCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		workerCounts = append(workerCounts, p)
+	}
+
+	d := doc{
+		Schema:     "treecode-bench/v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Method:     m.String(),
+		Alpha:      *alpha,
+		Degree:     *degree,
+		Reps:       *reps,
+		Seed:       *seed,
+	}
+
+	for _, dist := range splitTrim(*dists) {
+		for _, nStr := range splitTrim(*sizes) {
+			n, err := strconv.Atoi(nStr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad size %q: %v\n", nStr, err)
+				os.Exit(1)
+			}
+			set, err := points.Generate(points.Distribution(dist), n, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			var exact []float64
+			if n <= *maxDirect {
+				exact = direct.SelfPotentials(set, 0)
+			}
+			for _, workers := range workerCounts {
+				var walkPhi, batchedPhi []float64
+				var walkRes, batchedRes *result
+				for _, mode := range []core.EvalMode{core.EvalWalk, core.EvalBatched} {
+					cfg := core.Config{Method: m, Alpha: *alpha, Degree: *degree, Workers: workers, Eval: mode}
+					e, err := core.New(set, cfg)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					var phi []float64
+					var st *core.Stats
+					best := math.Inf(1)
+					for r := 0; r < *reps; r++ {
+						p, s := e.Potentials()
+						if ms := float64(s.EvalTime) / float64(time.Millisecond); ms < best {
+							best = ms
+						}
+						phi, st = p, s
+					}
+					res := result{
+						Dist: dist, N: n, Mode: mode.String(), Workers: workers,
+						BuildMS: float64(e.BuildTime()) / float64(time.Millisecond),
+						EvalMS:  best,
+						Terms:   st.Terms, PC: st.PC, PP: st.PP,
+						MaxDegree: st.MaxDegree, BoundSum: st.BoundSum,
+					}
+					if exact != nil {
+						re := stats.RelErr2(phi, exact)
+						res.RelErrDirect = &re
+					}
+					d.Results = append(d.Results, res)
+					if mode == core.EvalWalk {
+						walkPhi, walkRes = phi, &d.Results[len(d.Results)-1]
+					} else {
+						batchedPhi, batchedRes = phi, &d.Results[len(d.Results)-1]
+					}
+					fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d %-7s eval %.1f ms\n",
+						dist, n, workers, mode, best)
+				}
+				d.Pairs = append(d.Pairs, pair{
+					Dist: dist, N: n, Workers: workers,
+					Speedup:    walkRes.EvalMS / batchedRes.EvalMS,
+					RelDrift:   stats.RelErr2(batchedPhi, walkPhi),
+					WalkMS:     walkRes.EvalMS,
+					BatchedMS:  batchedRes.EvalMS,
+					BoundRatio: batchedRes.BoundSum / walkRes.BoundSum,
+				})
+			}
+		}
+	}
+
+	w, err := cliio.Create(pathOrStdout(*out))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(w.W)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func pathOrStdout(p string) string {
+	if p == "-" {
+		return ""
+	}
+	return p
+}
+
+func splitTrim(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

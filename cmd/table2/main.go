@@ -31,6 +31,7 @@ func main() {
 	nUniform := flag.Int("uniform", 40000, "uniform workload size (paper: 40k)")
 	nGauss := flag.Int("nonuniform", 46000, "non-uniform workload size (paper: 46k)")
 	degree := flag.Int("degree", 4, "fixed degree / adaptive minimum degree")
+	eval := flag.String("eval", "walk", "evaluation mode for measured runs: walk|batched")
 	alpha := flag.Float64("alpha", 0.5, "acceptance parameter")
 	procs := flag.Int("procs", 32, "simulated processor count")
 	w := flag.Int("w", 64, "particles per chunk")
@@ -38,7 +39,12 @@ func main() {
 	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
 	flag.Parse()
 
-	if err := (core.Config{Degree: *degree, Alpha: *alpha, ChunkSize: *w}).Validate(); err != nil {
+	ev, err := core.ParseEvalMode(*eval)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := (core.Config{Degree: *degree, Alpha: *alpha, ChunkSize: *w, Eval: ev}).Validate(); err != nil {
 		fmt.Println("error:", err)
 		return
 	}
@@ -68,7 +74,7 @@ func main() {
 			return
 		}
 		for _, method := range []core.Method{core.Original, core.Adaptive} {
-			e, err := core.New(set, core.Config{Method: method, Degree: *degree, Alpha: *alpha, ChunkSize: *w})
+			e, err := core.New(set, core.Config{Method: method, Eval: ev, Degree: *degree, Alpha: *alpha, ChunkSize: *w})
 			if err != nil {
 				fmt.Println("error:", err)
 				return
@@ -93,7 +99,7 @@ func main() {
 	for _, wl := range cases {
 		set, _ := points.Generate(wl.dist, wl.n, *seed)
 		for _, method := range []core.Method{core.Original, core.Adaptive} {
-			e, err := core.New(set, core.Config{Method: method, Degree: *degree, Alpha: *alpha, ChunkSize: *w})
+			e, err := core.New(set, core.Config{Method: method, Eval: ev, Degree: *degree, Alpha: *alpha, ChunkSize: *w})
 			if err != nil {
 				fmt.Println("error:", err)
 				return

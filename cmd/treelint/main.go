@@ -8,10 +8,15 @@
 // are honored and counted in the summary. With -json the findings and
 // suppression counts are emitted as a single JSON object on stdout.
 //
+// With -diff BASE the package arguments are replaced by the packages
+// containing Go files changed since the git ref BASE — the fast PR mode;
+// the full ./... sweep stays on main.
+//
 // Usage:
 //
 //	go run ./cmd/treelint ./...
 //	go run ./cmd/treelint -json ./internal/core ./internal/fmm
+//	go run ./cmd/treelint -diff origin/main
 package main
 
 import (
@@ -27,9 +32,10 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	diffBase := flag.String("diff", "", "lint only packages with Go files changed since this git ref (overrides package arguments)")
 	flag.Usage = func() {
 		var b strings.Builder
-		fmt.Fprintf(&b, "usage: treelint [-json] [-rules r1,r2] [packages]\n\nRules:\n")
+		fmt.Fprintf(&b, "usage: treelint [-json] [-rules r1,r2] [-diff ref] [packages]\n\nRules:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(&b, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -53,7 +59,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treelint:", err)
 		os.Exit(2)
 	}
-	dirs, err := lint.ExpandPatterns(cwd, patterns)
+	var dirs []string
+	if *diffBase != "" {
+		dirs, err = lint.ChangedGoDirs(cwd, *diffBase)
+	} else {
+		dirs, err = lint.ExpandPatterns(cwd, patterns)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "treelint:", err)
 		os.Exit(2)

@@ -1,0 +1,319 @@
+package core
+
+// Leaf-batched dual-tree evaluation (Config.Eval == EvalBatched).
+//
+// The per-particle walk traverses the octree once per target; with leaves of
+// c particles each, neighbouring targets repeat almost identical traversals
+// c times. The batched mode traverses once per *target leaf* instead,
+// testing the MAC conservatively against the leaf's geometric bounding
+// sphere (Centroid, BRadius):
+//
+//   - AcceptSphere (extent <= alpha*(r - rho)): every point of the sphere
+//     satisfies the per-particle criterion, so the cluster joins a shared
+//     far-field (M2P) list consumed by all particles of the leaf without
+//     further tests.
+//   - RejectSphere (extent > alpha*(r + rho)): every point fails the
+//     criterion, so the walk would open the node for each particle; an
+//     internal node descends, a source leaf joins the shared near-field
+//     (P2P) list.
+//   - Otherwise the cluster is in the refinement band between the two
+//     bounds: each particle applies the exact per-particle MAC, descending
+//     where it rejects — precisely what the walk does.
+//
+// Because the sphere tests are conservative in both directions, the
+// per-particle interaction set is *identical* to the walk's: batched mode
+// never accepts an interaction the per-particle criterion would reject
+// (Theorem 2's error budget is untouched) and never opens a node the walk
+// would accept (no extra work, only amortized traversal). The two modes
+// differ solely in summation order.
+//
+// Leaf tasks are wildly uneven for clustered distributions, so they are
+// balanced by the work-stealing scheduler in internal/sched rather than the
+// static chunk slicing the walk uses. Results are independent of the
+// schedule bitwise: each particle's contributions are summed in the
+// deterministic per-leaf list order, whichever worker runs the leaf.
+
+import (
+	"runtime"
+	"sync"
+
+	"treecode/internal/harmonics"
+	"treecode/internal/mac"
+	"treecode/internal/multipole"
+	"treecode/internal/obs"
+	"treecode/internal/sched"
+	"treecode/internal/tree"
+	"treecode/internal/vec"
+)
+
+// batchWorker extends the walk worker with the conservative MAC and the
+// per-leaf interaction lists. The lists are reused across leaf tasks
+// (truncated, never reallocated once grown), so steady-state leaf
+// processing performs no allocations.
+type batchWorker struct {
+	worker
+	smac mac.SphereMAC
+	m2p  []*tree.Node // clusters every particle of the leaf accepts
+	band []*tree.Node // clusters needing per-particle refinement
+	p2p  []*tree.Node // source leaves every particle of the leaf rejects
+	// Refinement-band tallies for the current leaf, flushed to the shard
+	// once per leaf.
+	refChecks  int64
+	refAccepts int64
+}
+
+// batchedLeaves drives one batched evaluation: leaf tasks over the
+// work-stealing scheduler, one batchWorker per goroutine, stats and shards
+// merged exactly as parallelChunks does, plus the pool's steal count folded
+// into the batch metrics.
+func (e *Evaluator) batchedLeaves(workers int, parent *obs.Span, stats *Stats, body func(w *batchWorker, leaf *tree.Node)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	leaves := e.leaves
+	smac := e.Cfg.MAC.(mac.SphereMAC) // Validate guarantees the assertion
+	var mu sync.Mutex
+	st := sched.Run(len(leaves), workers, func(id int, next func() (int, bool)) {
+		sp := parent.ChildWorker("worker", id)
+		w := &batchWorker{
+			worker: worker{
+				e:     e,
+				buf:   make([]complex128, harmonics.Len(e.maxP+1)),
+				shard: e.Cfg.Obs.NewShard(),
+			},
+			smac: smac,
+		}
+		for t, ok := next(); ok; t, ok = next() {
+			body(w, leaves[t])
+		}
+		mu.Lock()
+		stats.add(&w.stats)
+		mu.Unlock()
+		w.shard.Merge()
+		sp.End()
+	})
+	e.Cfg.Obs.AddSteals(st.Steals)
+}
+
+// collect classifies the subtree at n against the target leaf's bounding
+// sphere, filling the worker's m2p/band/p2p lists. Nodes every particle
+// provably rejects are recorded as count bulk rejections, keeping the
+// census identical to the walk's (which records one rejection per particle
+// at every opened node and every directly-summed leaf).
+func (w *batchWorker) collect(n *tree.Node, c vec.V3, rho float64, count int64) {
+	if w.smac.AcceptSphere(c, rho, n) {
+		w.m2p = append(w.m2p, n)
+		return
+	}
+	if !w.smac.RejectSphere(c, rho, n) {
+		w.band = append(w.band, n)
+		return
+	}
+	if w.shard != nil {
+		w.shard.RejectN(n.Level, count)
+	}
+	if n.IsLeaf() {
+		w.p2p = append(w.p2p, n)
+		return
+	}
+	for _, ch := range n.Children {
+		w.collect(ch, c, rho, count)
+	}
+}
+
+// begin resets the per-leaf lists and tallies and runs the collect pass.
+func (w *batchWorker) begin(leaf *tree.Node) {
+	w.m2p = w.m2p[:0]
+	w.band = w.band[:0]
+	w.p2p = w.p2p[:0]
+	w.refChecks = 0
+	w.refAccepts = 0
+	w.collect(w.e.Tree.Root, leaf.Centroid, leaf.BRadius, int64(leaf.Count()))
+}
+
+// finish flushes the per-leaf batch metrics.
+func (w *batchWorker) finish(leaf *tree.Node) {
+	if w.shard == nil {
+		return
+	}
+	w.shard.BatchLeaf(int64(len(w.m2p)), int64(len(w.m2p))*int64(leaf.Count()))
+	w.shard.Refine(w.refChecks, w.refAccepts)
+}
+
+// leafPotentials evaluates the potentials of every particle in the target
+// leaf. Far-field clusters run in a cluster-outer loop so each expansion's
+// coefficients stay hot across the leaf's particles; near-field leaves
+// batch P2P over contiguous tree-order slices.
+//
+//treecode:hot
+func (w *batchWorker) leafPotentials(leaf *tree.Node, out []float64) {
+	w.begin(leaf)
+	t := w.e.Tree
+	for _, n := range w.m2p {
+		for i := leaf.Start; i < leaf.End; i++ {
+			out[t.Perm[i]] += w.fusedM2P(n, t.Pos[i])
+		}
+	}
+	for _, n := range w.band {
+		for i := leaf.Start; i < leaf.End; i++ {
+			out[t.Perm[i]] += w.refine(n, t.Pos[i], i)
+		}
+	}
+	for _, src := range w.p2p {
+		for i := leaf.Start; i < leaf.End; i++ {
+			phi, pp := w.direct(src, t.Pos[i], i)
+			out[t.Perm[i]] += phi
+			w.stats.PP += pp
+			if w.shard != nil {
+				w.shard.Direct(src.Level, pp)
+			}
+		}
+	}
+	w.finish(leaf)
+}
+
+// fusedM2P is acceptM2P with the batched mode's kernels: the fused
+// allocation-free M2P evaluation and the exponentiation-by-squaring
+// truncation bound. Stats and census accounting are identical to the
+// walk's; the numbers agree to roundoff.
+//
+//treecode:hot
+func (w *batchWorker) fusedM2P(n *tree.Node, x vec.V3) float64 {
+	p := n.Degree
+	w.stats.Terms += multipole.Terms(p)
+	w.stats.PC++
+	if p > w.stats.MaxDegree {
+		w.stats.MaxDegree = p
+	}
+	w.stats.BoundSum += multipole.TruncationBoundFast(n.Mp.AbsCharge, n.Mp.Radius, x.Dist(n.Mp.Center), p)
+	if w.shard != nil {
+		w.recordAccept(n, x, p)
+	}
+	return n.Mp.EvaluateFused(x, p)
+}
+
+// refine applies the exact per-particle criterion to a refinement-band
+// cluster — the walk's own accept/reject step, plus the band tallies.
+//
+//treecode:hot
+func (w *batchWorker) refine(n *tree.Node, x vec.V3, self int) float64 {
+	w.refChecks++
+	if w.e.Cfg.MAC.Accept(x, n) {
+		w.refAccepts++
+		return w.fusedM2P(n, x)
+	}
+	if w.shard != nil {
+		w.shard.Reject(n.Level)
+	}
+	return w.walkBelow(n, x, self)
+}
+
+// leafFields is leafPotentials' potential+field counterpart.
+//
+//treecode:hot
+func (w *batchWorker) leafFields(leaf *tree.Node, phi []float64, field []vec.V3) {
+	w.begin(leaf)
+	t := w.e.Tree
+	for _, n := range w.m2p {
+		for i := leaf.Start; i < leaf.End; i++ {
+			p, f := w.acceptM2PField(n, t.Pos[i])
+			phi[t.Perm[i]] += p
+			field[t.Perm[i]] = field[t.Perm[i]].Add(f)
+		}
+	}
+	for _, n := range w.band {
+		for i := leaf.Start; i < leaf.End; i++ {
+			p, f := w.refineField(n, t.Pos[i], i)
+			phi[t.Perm[i]] += p
+			field[t.Perm[i]] = field[t.Perm[i]].Add(f)
+		}
+	}
+	for _, src := range w.p2p {
+		for i := leaf.Start; i < leaf.End; i++ {
+			p, f, pp := w.directField(src, t.Pos[i], i)
+			phi[t.Perm[i]] += p
+			field[t.Perm[i]] = field[t.Perm[i]].Add(f)
+			w.stats.PP += pp
+			if w.shard != nil {
+				w.shard.Direct(src.Level, pp)
+			}
+		}
+	}
+	w.finish(leaf)
+}
+
+// refineField is refine's potential+field counterpart.
+//
+//treecode:hot
+func (w *batchWorker) refineField(n *tree.Node, x vec.V3, self int) (float64, vec.V3) {
+	w.refChecks++
+	if w.e.Cfg.MAC.Accept(x, n) {
+		w.refAccepts++
+		return w.acceptM2PField(n, x)
+	}
+	if w.shard != nil {
+		w.shard.Reject(n.Level)
+	}
+	return w.walkFieldBelow(n, x, self)
+}
+
+// VisitBatchedInteractions reports the interaction set the batched
+// traversal produces for every particle of one target leaf: cluster is
+// called with the particle's tree-order index, the accepted node and its
+// evaluation degree; particle with the target and source tree-order
+// indices. The equivalence tests compare this against VisitInteractions
+// per particle. Requires a SphereMAC (as Validate enforces for batched
+// runs).
+func (e *Evaluator) VisitBatchedInteractions(leaf *tree.Node,
+	cluster func(i int, n *tree.Node, degree int), particle func(i, j int)) {
+	smac := e.Cfg.MAC.(mac.SphereMAC)
+	var m2p, band, p2p []*tree.Node
+	var collect func(n *tree.Node)
+	collect = func(n *tree.Node) {
+		switch {
+		case smac.AcceptSphere(leaf.Centroid, leaf.BRadius, n):
+			m2p = append(m2p, n)
+		case !smac.RejectSphere(leaf.Centroid, leaf.BRadius, n):
+			band = append(band, n)
+		case n.IsLeaf():
+			p2p = append(p2p, n)
+		default:
+			for _, c := range n.Children {
+				collect(c)
+			}
+		}
+	}
+	collect(e.Tree.Root)
+	for i := leaf.Start; i < leaf.End; i++ {
+		i := i
+		x := e.Tree.Pos[i]
+		for _, n := range m2p {
+			if cluster != nil {
+				cluster(i, n, n.Degree)
+			}
+		}
+		for _, n := range band {
+			e.visitFrom(n, x, i,
+				func(nn *tree.Node, d int) {
+					if cluster != nil {
+						cluster(i, nn, d)
+					}
+				},
+				func(j int) {
+					if particle != nil {
+						particle(i, j)
+					}
+				})
+		}
+		for _, src := range p2p {
+			if particle == nil {
+				continue
+			}
+			for j := src.Start; j < src.End; j++ {
+				if j != i {
+					particle(i, j)
+				}
+			}
+		}
+	}
+}

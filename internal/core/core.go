@@ -56,6 +56,46 @@ func (m Method) String() string {
 	return "original"
 }
 
+// EvalMode selects the evaluation traversal strategy.
+type EvalMode int
+
+const (
+	// EvalWalk is the reference strategy: one full recursive MAC walk from
+	// the root per target particle.
+	EvalWalk EvalMode = iota
+	// EvalBatched is the leaf-batched dual-tree strategy: the octree is
+	// traversed once per target leaf, testing the MAC conservatively
+	// against the leaf's bounding sphere. Clusters the whole leaf provably
+	// accepts form a shared far-field (M2P) list and leaves the whole leaf
+	// provably rejects form a shared near-field (P2P) list, both consumed
+	// by every particle of the leaf; only the clusters in the refinement
+	// band between the two sphere tests fall back to per-particle MAC
+	// decisions. Leaf tasks are balanced across workers by a work-stealing
+	// scheduler. The interaction set of every particle is identical to
+	// EvalWalk's (the sphere tests are conservative, never accepting what
+	// the per-particle criterion would reject), so both modes satisfy the
+	// same Theorem 2 error budget; only the summation order differs.
+	EvalBatched
+)
+
+func (m EvalMode) String() string {
+	if m == EvalBatched {
+		return "batched"
+	}
+	return "walk"
+}
+
+// ParseEvalMode parses the command-line spelling of an evaluation mode.
+func ParseEvalMode(s string) (EvalMode, error) {
+	switch s {
+	case "", "walk":
+		return EvalWalk, nil
+	case "batched":
+		return EvalBatched, nil
+	}
+	return EvalWalk, fmt.Errorf("core: unknown eval mode %q (want walk or batched)", s)
+}
+
 // Config controls evaluator construction.
 type Config struct {
 	// Method selects fixed-degree (Original) or per-cluster degrees
@@ -85,6 +125,13 @@ type Config struct {
 	// decomposition, cache-friendlier build for large n) instead of the
 	// recursive octant partition.
 	MortonTree bool
+	// Eval selects the traversal strategy for Potentials and Fields:
+	// EvalWalk (default) runs the per-particle recursive MAC walk,
+	// EvalBatched the leaf-batched dual-tree traversal with work-stealing
+	// scheduling. Batched mode requires the MAC to support conservative
+	// whole-sphere tests (mac.SphereMAC); all built-in criteria do.
+	// PotentialsAt always walks: arbitrary targets carry no leaf grouping.
+	Eval EvalMode
 	// RefQuantile selects the Theorem 3 reference cluster among the
 	// deepest-level leaves by charge quantile. 0 (default) is the theorem's
 	// choice — the smallest-charge leaf, the most accurate and most
@@ -144,6 +191,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative worker count %d", c.Workers)
 	case c.RefQuantile < 0 || c.RefQuantile > 1:
 		return fmt.Errorf("core: reference quantile must be in [0,1], got %v", c.RefQuantile)
+	case c.Eval != EvalWalk && c.Eval != EvalBatched:
+		return fmt.Errorf("core: unknown eval mode %d", c.Eval)
+	}
+	if c.Eval == EvalBatched {
+		if _, ok := c.MAC.(mac.SphereMAC); !ok {
+			return fmt.Errorf("core: batched evaluation needs a MAC with conservative sphere tests (mac.SphereMAC); %s has none", c.MAC)
+		}
 	}
 	return nil
 }
@@ -180,6 +234,8 @@ type Evaluator struct {
 	Tree *tree.Tree
 
 	upDegree map[*tree.Node]int // degree expansions are carried at
+	leaves   []*tree.Node       // tree-ordered leaves: batched mode's task list
+	maxP     int                // largest carried degree (scratch sizing)
 	buildT   time.Duration
 }
 
@@ -211,6 +267,12 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 	e.buildExpansions()
 	sp.End()
 	bsp.End()
+	e.leaves = tr.Leaves()
+	for _, d := range e.upDegree {
+		if d > e.maxP {
+			e.maxP = d
+		}
+	}
 	e.buildT = time.Since(start)
 	return e, nil
 }
@@ -334,11 +396,17 @@ func (e *Evaluator) PotentialsWithWorkers(workers int) ([]float64, *Stats) {
 	stats := e.newStats()
 	sp := e.Cfg.Obs.Start("core/potentials")
 	start := time.Now()
-	e.parallelChunks(n, workers, func(lo, hi int, w *worker) {
-		for i := lo; i < hi; i++ {
-			out[t.Perm[i]] = w.potential(t.Pos[i], i)
-		}
-	}, stats, sp)
+	if e.Cfg.Eval == EvalBatched {
+		e.batchedLeaves(workers, sp, stats, func(w *batchWorker, leaf *tree.Node) {
+			w.leafPotentials(leaf, out)
+		})
+	} else {
+		e.parallelChunks(n, workers, func(lo, hi int, w *worker) {
+			for i := lo; i < hi; i++ {
+				out[t.Perm[i]] = w.potential(t.Pos[i], i)
+			}
+		}, stats, sp)
+	}
 	stats.EvalTime = time.Since(start)
 	sp.End()
 	return out, stats
@@ -371,13 +439,19 @@ func (e *Evaluator) Fields() ([]float64, []vec.V3, *Stats) {
 	stats := e.newStats()
 	sp := e.Cfg.Obs.Start("core/fields")
 	start := time.Now()
-	e.parallelChunks(n, e.Cfg.Workers, func(lo, hi int, w *worker) {
-		for i := lo; i < hi; i++ {
-			p, f := w.field(t.Pos[i], i)
-			phi[t.Perm[i]] = p
-			field[t.Perm[i]] = f
-		}
-	}, stats, sp)
+	if e.Cfg.Eval == EvalBatched {
+		e.batchedLeaves(e.Cfg.Workers, sp, stats, func(w *batchWorker, leaf *tree.Node) {
+			w.leafFields(leaf, phi, field)
+		})
+	} else {
+		e.parallelChunks(n, e.Cfg.Workers, func(lo, hi int, w *worker) {
+			for i := lo; i < hi; i++ {
+				p, f := w.field(t.Pos[i], i)
+				phi[t.Perm[i]] = p
+				field[t.Perm[i]] = f
+			}
+		}, stats, sp)
+	}
 	stats.EvalTime = time.Since(start)
 	sp.End()
 	return phi, field, stats
@@ -411,15 +485,9 @@ type worker struct {
 }
 
 func (e *Evaluator) newWorker() *worker {
-	maxP := 0
-	for _, d := range e.upDegree {
-		if d > maxP {
-			maxP = d
-		}
-	}
 	return &worker{
 		e:     e,
-		buf:   make([]complex128, harmonics.Len(maxP+1)),
+		buf:   make([]complex128, harmonics.Len(e.maxP+1)),
 		shard: e.Cfg.Obs.NewShard(),
 	}
 }
@@ -492,38 +560,42 @@ func (w *worker) potential(x vec.V3, self int) float64 {
 //
 //treecode:hot
 func (w *worker) walk(n *tree.Node, x vec.V3, self int) float64 {
-	e := w.e
-	if e.Cfg.MAC.Accept(x, n) {
-		p := n.Degree
-		w.stats.Terms += multipole.Terms(p)
-		w.stats.PC++
-		if p > w.stats.MaxDegree {
-			w.stats.MaxDegree = p
-		}
-		w.stats.BoundSum += n.Mp.BoundAt(x, p)
-		if w.shard != nil {
-			w.recordAccept(n, x, p)
-		}
-		return n.Mp.EvaluatePrefix(x, p, w.buf)
+	if w.e.Cfg.MAC.Accept(x, n) {
+		return w.acceptM2P(n, x)
 	}
 	if w.shard != nil {
 		w.shard.Reject(n.Level)
 	}
+	return w.walkBelow(n, x, self)
+}
+
+// acceptM2P evaluates one accepted cluster interaction (M2P) with full
+// stats accounting, shared by the walk and batched traversals.
+//
+//treecode:hot
+func (w *worker) acceptM2P(n *tree.Node, x vec.V3) float64 {
+	p := n.Degree
+	w.stats.Terms += multipole.Terms(p)
+	w.stats.PC++
+	if p > w.stats.MaxDegree {
+		w.stats.MaxDegree = p
+	}
+	w.stats.BoundSum += n.Mp.BoundAt(x, p)
+	if w.shard != nil {
+		w.recordAccept(n, x, p)
+	}
+	return n.Mp.EvaluatePrefix(x, p, w.buf)
+}
+
+// walkBelow accumulates the potential over the subtree at n for a target
+// already known to reject n: a leaf is summed directly, an internal node
+// descends into its children. The batched traversal's refinement band
+// lands here too, after its own exact per-particle rejection.
+//
+//treecode:hot
+func (w *worker) walkBelow(n *tree.Node, x vec.V3, self int) float64 {
 	if n.IsLeaf() {
-		t := e.Tree
-		var phi float64
-		var pp int64
-		for j := n.Start; j < n.End; j++ {
-			if j == self {
-				continue
-			}
-			r := x.Dist(t.Pos[j])
-			if r == 0 {
-				continue // coincident target and source: skip, as direct does
-			}
-			phi += t.Q[j] / r
-			pp++
-		}
+		phi, pp := w.direct(n, x, self)
 		w.stats.PP += pp
 		if w.shard != nil {
 			w.shard.Direct(n.Level, pp)
@@ -535,6 +607,28 @@ func (w *worker) walk(n *tree.Node, x vec.V3, self int) float64 {
 		phi += w.walk(c, x, self)
 	}
 	return phi
+}
+
+// direct sums the particles of leaf n at x (P2P over the leaf's contiguous
+// tree-order slice), skipping the self particle and coincident sources.
+//
+//treecode:hot
+func (w *worker) direct(n *tree.Node, x vec.V3, self int) (float64, int64) {
+	t := w.e.Tree
+	var phi float64
+	var pp int64
+	for j := n.Start; j < n.End; j++ {
+		if j == self {
+			continue
+		}
+		r := x.Dist(t.Pos[j])
+		if r == 0 {
+			continue // coincident target and source: skip, as direct does
+		}
+		phi += t.Q[j] / r
+		pp++
+	}
+	return phi, pp
 }
 
 // recordAccept feeds one accepted interaction to the worker's obs shard:
@@ -561,42 +655,38 @@ func (w *worker) field(x vec.V3, self int) (float64, vec.V3) {
 //
 //treecode:hot
 func (w *worker) walkField(n *tree.Node, x vec.V3, self int) (float64, vec.V3) {
-	e := w.e
-	if e.Cfg.MAC.Accept(x, n) {
-		p := n.Degree
-		w.stats.Terms += multipole.Terms(p)
-		w.stats.PC++
-		if p > w.stats.MaxDegree {
-			w.stats.MaxDegree = p
-		}
-		if w.shard != nil {
-			w.recordAccept(n, x, p)
-		}
-		phi, grad := n.Mp.EvaluateFieldBuf(x, p, w.buf)
-		return phi, grad.Neg()
+	if w.e.Cfg.MAC.Accept(x, n) {
+		return w.acceptM2PField(n, x)
 	}
 	if w.shard != nil {
 		w.shard.Reject(n.Level)
 	}
+	return w.walkFieldBelow(n, x, self)
+}
+
+// acceptM2PField is acceptM2P's potential+field counterpart.
+//
+//treecode:hot
+func (w *worker) acceptM2PField(n *tree.Node, x vec.V3) (float64, vec.V3) {
+	p := n.Degree
+	w.stats.Terms += multipole.Terms(p)
+	w.stats.PC++
+	if p > w.stats.MaxDegree {
+		w.stats.MaxDegree = p
+	}
+	if w.shard != nil {
+		w.recordAccept(n, x, p)
+	}
+	phi, grad := n.Mp.EvaluateFieldBuf(x, p, w.buf)
+	return phi, grad.Neg()
+}
+
+// walkFieldBelow is walkBelow's potential+field counterpart.
+//
+//treecode:hot
+func (w *worker) walkFieldBelow(n *tree.Node, x vec.V3, self int) (float64, vec.V3) {
 	if n.IsLeaf() {
-		t := e.Tree
-		var phi float64
-		var f vec.V3
-		var pp int64
-		for j := n.Start; j < n.End; j++ {
-			if j == self {
-				continue
-			}
-			d := x.Sub(t.Pos[j])
-			r2 := d.Norm2()
-			if r2 == 0 {
-				continue
-			}
-			invR := 1 / math.Sqrt(r2)
-			phi += t.Q[j] * invR
-			f = f.Add(d.Scale(t.Q[j] * invR / r2))
-			pp++
-		}
+		phi, f, pp := w.directField(n, x, self)
 		w.stats.PP += pp
 		if w.shard != nil {
 			w.shard.Direct(n.Level, pp)
@@ -613,12 +703,44 @@ func (w *worker) walkField(n *tree.Node, x vec.V3, self int) (float64, vec.V3) {
 	return phi, f
 }
 
+// directField is direct's potential+field counterpart.
+//
+//treecode:hot
+func (w *worker) directField(n *tree.Node, x vec.V3, self int) (float64, vec.V3, int64) {
+	t := w.e.Tree
+	var phi float64
+	var f vec.V3
+	var pp int64
+	for j := n.Start; j < n.End; j++ {
+		if j == self {
+			continue
+		}
+		d := x.Sub(t.Pos[j])
+		r2 := d.Norm2()
+		if r2 == 0 {
+			continue
+		}
+		invR := 1 / math.Sqrt(r2)
+		phi += t.Q[j] * invR
+		f = f.Add(d.Scale(t.Q[j] * invR / r2))
+		pp++
+	}
+	return phi, f, pp
+}
+
 // VisitInteractions walks the interaction set of a target exactly as the
 // evaluator would, reporting each accepted cluster (with the degree it would
 // be evaluated at) and each directly-summed particle (tree-order index).
 // Used by the analysis tests, the parallel cost simulator, and the
 // communication model.
 func (e *Evaluator) VisitInteractions(x vec.V3, self int,
+	cluster func(n *tree.Node, degree int), particle func(j int)) {
+	e.visitFrom(e.Tree.Root, x, self, cluster, particle)
+}
+
+// visitFrom is VisitInteractions rooted at an arbitrary subtree; the
+// batched-traversal visitor reuses it for refinement-band clusters.
+func (e *Evaluator) visitFrom(root *tree.Node, x vec.V3, self int,
 	cluster func(n *tree.Node, degree int), particle func(j int)) {
 	var visit func(n *tree.Node)
 	visit = func(n *tree.Node) {
@@ -642,5 +764,5 @@ func (e *Evaluator) VisitInteractions(x vec.V3, self int,
 			visit(c)
 		}
 	}
-	visit(e.Tree.Root)
+	visit(root)
 }

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"treecode/internal/harmonics"
+	"treecode/internal/mac"
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+// TestHotPathEscapeAnalysis is the compiler-backed upgrade of treelint's
+// syntactic hotalloc rule: it rebuilds internal/core and internal/multipole
+// with -gcflags=-m and asserts the escape analysis proves no heap
+// allocation inside //treecode:hot functions. The only tolerated
+// diagnostics are the observability shard's amortized counter growth
+// (make([]obs.LevelMetrics, ...) / make([]int64, ...) when a per-level or
+// per-degree slice first reaches a new level), which happens O(tree height)
+// times per run, not per interaction.
+func TestHotPathEscapeAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles two packages; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := []string{"./internal/core", "./internal/multipole"}
+	out := buildWithEscapes(t, goBin, root, pkgs, false)
+	if !strings.Contains(out, "escapes to heap") {
+		// A cached build that does not replay compiler diagnostics would
+		// make the test vacuous; force a rebuild of the two packages.
+		out = buildWithEscapes(t, goBin, root, pkgs, true)
+	}
+	if !strings.Contains(out, "escapes to heap") {
+		t.Skip("toolchain did not emit escape diagnostics")
+	}
+
+	hot := hotFunctionRanges(t, root, "internal/core", "internal/multipole")
+	diag := regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*(?:escapes to heap|moved to heap).*)$`)
+	amortized := regexp.MustCompile(`make\(\[\]obs\.LevelMetrics|make\(\[\]int64`)
+	var violations []string
+	for _, line := range strings.Split(out, "\n") {
+		m := diag.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		fn, ok := hot[m[1]]
+		if !ok {
+			continue
+		}
+		inHot := false
+		for _, r := range fn {
+			if ln >= r[0] && ln <= r[1] {
+				inHot = true
+				break
+			}
+		}
+		if inHot && !amortized.MatchString(m[3]) {
+			violations = append(violations, strings.TrimSpace(line))
+		}
+	}
+	if len(violations) > 0 {
+		t.Fatalf("escape analysis found heap allocations inside //treecode:hot functions:\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}
+
+// buildWithEscapes compiles pkgs with -gcflags=-m and returns the combined
+// output (the diagnostics go to stderr). force adds -a to defeat the build
+// cache when it does not replay diagnostics.
+func buildWithEscapes(t *testing.T, goBin, root string, pkgs []string, force bool) string {
+	t.Helper()
+	args := []string{"build", "-gcflags=-m"}
+	if force {
+		args = append(args, "-a")
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command(goBin, args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// hotFunctionRanges parses the non-test sources of the given package dirs
+// and returns, per repo-relative file path, the [start, end] line ranges of
+// functions carrying the //treecode:hot marker.
+func hotFunctionRanges(t *testing.T, root string, dirs ...string) map[string][][2]int {
+	t.Helper()
+	out := map[string][][2]int{}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		files, err := filepath.Glob(filepath.Join(root, dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range files {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				marked := false
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == "//treecode:hot" {
+						marked = true
+						break
+					}
+				}
+				if !marked {
+					continue
+				}
+				out[rel] = append(out[rel], [2]int{
+					fset.Position(fd.Body.Pos()).Line,
+					fset.Position(fd.Body.End()).Line,
+				})
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no //treecode:hot functions found; marker drifted?")
+	}
+	return out
+}
+
+// TestBatchedLeafKernelZeroAllocs pins the steady-state batched kernels at
+// zero allocations: once a worker's interaction lists have reached their
+// high-water capacity, whole evaluation passes (potentials and fields, all
+// leaves) must not allocate at all.
+func TestBatchedLeafKernelZeroAllocs(t *testing.T) {
+	set, err := points.Generate(points.Gaussian, 2000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(set, Config{Method: Adaptive, Degree: 4, Eval: EvalBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &batchWorker{
+		worker: worker{e: e, buf: make([]complex128, harmonics.Len(e.maxP+1))},
+		smac:   e.Cfg.MAC.(mac.SphereMAC),
+	}
+	out := make([]float64, set.N())
+	for _, leaf := range e.leaves {
+		w.leafPotentials(leaf, out) // warm-up: grow the reused lists
+	}
+	if a := testing.AllocsPerRun(3, func() {
+		for _, leaf := range e.leaves {
+			w.leafPotentials(leaf, out)
+		}
+	}); a != 0 {
+		t.Fatalf("steady-state leafPotentials pass allocates %v times", a)
+	}
+
+	phi := make([]float64, set.N())
+	field := make([]vec.V3, set.N())
+	for _, leaf := range e.leaves {
+		w.leafFields(leaf, phi, field)
+	}
+	if a := testing.AllocsPerRun(3, func() {
+		for _, leaf := range e.leaves {
+			w.leafFields(leaf, phi, field)
+		}
+	}); a != 0 {
+		t.Fatalf("steady-state leafFields pass allocates %v times", a)
+	}
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ChangedGoDirs returns the absolute package directories containing
+// non-test Go files changed in the git worktree at root since base, as
+// reported by `git diff --name-only base`. This is treelint's PR diff
+// mode: lint only the packages a change touched, leaving the full ./...
+// sweep to the main branch.
+//
+// Deleted files (--diff-filter=d), directories that no longer exist, and
+// the same path components the ./... expansion skips (hidden, _-prefixed,
+// testdata, vendor) are excluded — testdata in particular holds the lint
+// suite's intentionally-bad fixtures.
+func ChangedGoDirs(root, base string) ([]string, error) {
+	cmd := exec.Command("git", "-C", root, "diff", "--name-only", "--diff-filter=d", base)
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff %s: %s", base, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git diff %s: %w", base, err)
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	for _, f := range strings.Split(string(out), "\n") {
+		f = strings.TrimSpace(f)
+		if !strings.HasSuffix(f, ".go") || skippedPath(f) {
+			continue
+		}
+		d := filepath.Dir(f)
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		abs := filepath.Join(root, filepath.FromSlash(d))
+		if st, err := os.Stat(abs); err != nil || !st.IsDir() {
+			continue
+		}
+		dirs = append(dirs, abs)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// skippedPath reports whether any component of the slash-separated path is
+// one the package walker would skip.
+func skippedPath(p string) bool {
+	for _, c := range strings.Split(p, "/") {
+		if c == "testdata" || c == "vendor" || strings.HasPrefix(c, ".") || strings.HasPrefix(c, "_") {
+			return true
+		}
+	}
+	return false
+}

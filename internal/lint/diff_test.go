@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestChangedGoDirs builds a throwaway git repo and checks that the diff
+// mode picks up exactly the packages with changed non-test Go files,
+// skipping deleted files, non-Go files, and testdata fixtures.
+func TestChangedGoDirs(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not in PATH")
+	}
+	root := t.TempDir()
+	run := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", root}, args...)...)
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+			"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	write := func(rel, body string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run("init", "-q")
+	write("a/a.go", "package a\n")
+	write("b/b.go", "package b\n")
+	write("gone/gone.go", "package gone\n")
+	run("add", "-A")
+	run("commit", "-qm", "base")
+
+	write("a/a.go", "package a\n\nvar X = 1\n") // modified
+	write("c/c.go", "package c\n")              // added
+	write("a/testdata/fix.go", "package fix\n") // skipped component
+	write("b/notes.txt", "not go\n")            // not a .go file
+	if err := os.Remove(filepath.Join(root, "gone", "gone.go")); err != nil {
+		t.Fatal(err)
+	}
+	run("add", "-A")
+	run("commit", "-qm", "change")
+
+	dirs, err := ChangedGoDirs(root, "HEAD~1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(root, "a"), filepath.Join(root, "c")}
+	if len(dirs) != len(want) {
+		t.Fatalf("dirs = %v, want %v", dirs, want)
+	}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Fatalf("dirs[%d] = %q, want %q", i, dirs[i], want[i])
+		}
+	}
+
+	// No changes since HEAD: empty (PRs touching no Go files lint nothing).
+	dirs, err = ChangedGoDirs(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 0 {
+		t.Fatalf("expected no dirs for clean diff, got %v", dirs)
+	}
+
+	// Bad ref: surfaced as an error, not a silent empty lint.
+	if _, err := ChangedGoDirs(root, "no-such-ref"); err == nil {
+		t.Fatal("expected error for unknown ref")
+	}
+}

@@ -24,6 +24,37 @@ type MAC interface {
 	String() string
 }
 
+// SphereMAC extends a MAC with conservative whole-sphere tests, the basis
+// of dual-tree (leaf-batched) traversal: instead of one target point, the
+// criterion is decided for every point of a target bounding sphere at once.
+//
+// All three criteria in this package have the form
+//
+//	extent(n) <= alpha * dist(x, ref(n)),
+//
+// so for a target sphere of center c and radius rho, with r = |c - ref(n)|:
+//
+//	min dist over the sphere = r - rho  =>  all points accept
+//	    when extent <= alpha*(r - rho) and r - rho > 0;
+//	max dist over the sphere = r + rho  =>  all points reject
+//	    when extent > alpha*(r + rho).
+//
+// Between the two inequalities lies the refinement band, where the caller
+// must fall back to per-point Accept. AcceptSphere must imply Accept for
+// every point within rho of c (a dual-tree traversal must never accept an
+// interaction the per-point criterion would reject — the Theorem 2 error
+// budget depends on it); RejectSphere must likewise imply rejection for
+// every such point.
+type SphereMAC interface {
+	MAC
+	// AcceptSphere reports whether every target within distance rho of c
+	// accepts node n.
+	AcceptSphere(c vec.V3, rho float64, n *tree.Node) bool
+	// RejectSphere reports whether every target within distance rho of c
+	// rejects node n.
+	RejectSphere(c vec.V3, rho float64, n *tree.Node) bool
+}
+
 // Alpha is the paper's criterion in its sharp, radius-based form:
 // accept when a/r <= alpha, with a the cluster radius about the expansion
 // center and r the distance from the target to that center. This is exactly
@@ -39,6 +70,18 @@ func (m Alpha) Accept(x vec.V3, n *tree.Node) bool {
 }
 
 func (m Alpha) String() string { return fmt.Sprintf("alpha=%g (radius)", m.Alpha) }
+
+// AcceptSphere implements SphereMAC: a <= alpha*(r - rho) with r the
+// distance from the sphere center to the expansion center.
+func (m Alpha) AcceptSphere(c vec.V3, rho float64, n *tree.Node) bool {
+	r := c.Dist(n.Center) - rho
+	return r > 0 && n.Radius <= m.Alpha*r
+}
+
+// RejectSphere implements SphereMAC: a > alpha*(r + rho).
+func (m Alpha) RejectSphere(c vec.V3, rho float64, n *tree.Node) bool {
+	return n.Radius > m.Alpha*(c.Dist(n.Center)+rho)
+}
 
 // BoxAlpha is the box-dimension form used operationally by Barnes-Hut
 // codes: accept when s/r <= alpha with s the box edge length. Since the
@@ -56,6 +99,17 @@ func (m BoxAlpha) Accept(x vec.V3, n *tree.Node) bool {
 
 func (m BoxAlpha) String() string { return fmt.Sprintf("alpha=%g (box)", m.Alpha) }
 
+// AcceptSphere implements SphereMAC: s <= alpha*(r - rho).
+func (m BoxAlpha) AcceptSphere(c vec.V3, rho float64, n *tree.Node) bool {
+	r := c.Dist(n.Center) - rho
+	return r > 0 && n.Size() <= m.Alpha*r
+}
+
+// RejectSphere implements SphereMAC: s > alpha*(r + rho).
+func (m BoxAlpha) RejectSphere(c vec.V3, rho float64, n *tree.Node) bool {
+	return n.Size() > m.Alpha*(c.Dist(n.Center)+rho)
+}
+
 // MinDist is a conservative variant accepting only if the whole box
 // (not just its particles) is far: accept when halfdiag(box)/dist(x, box
 // center) <= alpha. Useful as a worst-case baseline in tests.
@@ -70,3 +124,15 @@ func (m MinDist) Accept(x vec.V3, n *tree.Node) bool {
 }
 
 func (m MinDist) String() string { return fmt.Sprintf("alpha=%g (mindist)", m.Alpha) }
+
+// AcceptSphere implements SphereMAC: halfdiag <= alpha*(r - rho) with r the
+// distance from the sphere center to the box center.
+func (m MinDist) AcceptSphere(c vec.V3, rho float64, n *tree.Node) bool {
+	r := c.Dist(n.Box.Center()) - rho
+	return r > 0 && n.Box.HalfDiagonal() <= m.Alpha*r
+}
+
+// RejectSphere implements SphereMAC: halfdiag > alpha*(r + rho).
+func (m MinDist) RejectSphere(c vec.V3, rho float64, n *tree.Node) bool {
+	return n.Box.HalfDiagonal() > m.Alpha*(c.Dist(n.Box.Center())+rho)
+}

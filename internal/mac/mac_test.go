@@ -114,6 +114,78 @@ func TestStrings(t *testing.T) {
 	}
 }
 
+// TestSphereTestsConservative is the safety property the dual-tree
+// traversal relies on: for every node and a grid of target spheres,
+// AcceptSphere implies per-point Accept and RejectSphere implies per-point
+// rejection for sampled points of the sphere (center, axis extremes, and
+// points toward/away from the node).
+func TestSphereTestsConservative(t *testing.T) {
+	tr := buildTree(t)
+	macs := []SphereMAC{Alpha{0.5}, Alpha{0.9}, BoxAlpha{0.6}, MinDist{0.7}}
+	centers := []vec.V3{
+		{X: 0.5, Y: 0.5, Z: 0.5},
+		{X: 1.5, Y: 0.2, Z: 0.9},
+		{X: -0.3, Y: 0.4, Z: 0.1},
+	}
+	radii := []float64{0, 0.01, 0.1, 0.5}
+	for _, m := range macs {
+		for _, c := range centers {
+			for _, rho := range radii {
+				tr.Walk(func(n *tree.Node) {
+					acc := m.AcceptSphere(c, rho, n)
+					rej := m.RejectSphere(c, rho, n)
+					if acc && rej {
+						t.Fatalf("%s: sphere (%v, %g) both accepts and rejects node at level %d", m, c, rho, n.Level)
+					}
+					if !acc && !rej {
+						return // refinement band: no whole-sphere claim
+					}
+					// Sample the sphere: center, six axis extremes, and the
+					// extremes along the line to both reference centers.
+					samples := []vec.V3{c,
+						c.Add(vec.V3{X: rho}), c.Add(vec.V3{X: -rho}),
+						c.Add(vec.V3{Y: rho}), c.Add(vec.V3{Y: -rho}),
+						c.Add(vec.V3{Z: rho}), c.Add(vec.V3{Z: -rho}),
+					}
+					for _, ref := range []vec.V3{n.Center, n.Box.Center()} {
+						d := ref.Sub(c)
+						if nrm := d.Norm(); nrm > 0 {
+							u := d.Scale(rho / nrm)
+							samples = append(samples, c.Add(u), c.Sub(u))
+						}
+					}
+					for _, x := range samples {
+						if acc && !m.Accept(x, n) {
+							t.Fatalf("%s: AcceptSphere(%v, %g) but point %v rejects node at level %d", m, c, rho, x, n.Level)
+						}
+						if rej && m.Accept(x, n) {
+							t.Fatalf("%s: RejectSphere(%v, %g) but point %v accepts node at level %d", m, c, rho, x, n.Level)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSphereZeroRadiusMatchesPointTest checks that a zero-radius sphere
+// collapses to the point criterion outside the degenerate band: when either
+// whole-sphere test fires it must agree with Accept.
+func TestSphereZeroRadiusMatchesPointTest(t *testing.T) {
+	tr := buildTree(t)
+	m := Alpha{0.5}
+	x := vec.V3{X: 1.1, Y: 0.7, Z: 0.3}
+	tr.Walk(func(n *tree.Node) {
+		point := m.Accept(x, n)
+		if m.AcceptSphere(x, 0, n) != point && m.AcceptSphere(x, 0, n) {
+			t.Fatalf("zero-radius AcceptSphere disagrees with Accept at level %d", n.Level)
+		}
+		if m.RejectSphere(x, 0, n) && point {
+			t.Fatalf("zero-radius RejectSphere disagrees with Accept at level %d", n.Level)
+		}
+	})
+}
+
 func TestZeroDistanceRejected(t *testing.T) {
 	set := &points.Set{Particles: []points.Particle{{Pos: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, Charge: 1}}}
 	tr, _ := tree.Build(set, tree.Config{})

@@ -171,7 +171,10 @@ func (e *Expansion) Evaluate(x vec.V3, p int) float64 {
 	return e.evaluateBuf(x, p, nil)
 }
 
-// evaluateBuf is the shared M2P core of Evaluate and EvaluatePrefix.
+// evaluateBuf is the shared M2P core of Evaluate and EvaluatePrefix. The
+// triangular row offset advances incrementally (base of row n+1 = base of
+// row n + n + 1), so the inner loop touches coefficients and harmonics as
+// two linear scans with no index arithmetic beyond an add.
 //
 //treecode:hot
 func (e *Expansion) evaluateBuf(x vec.V3, p int, buf []complex128) float64 {
@@ -180,12 +183,13 @@ func (e *Expansion) evaluateBuf(x vec.V3, p int, buf []complex128) float64 {
 	}
 	s := harmonics.Irregular(buf, x.Sub(e.Center), p)
 	var phi float64
+	base := 0 // harmonics.Idx(n, 0)
 	for n := 0; n <= p; n++ {
-		base := harmonics.Idx(n, 0)
 		phi += real(e.Coeff[base] * s[base])
 		for m := 1; m <= n; m++ {
 			phi += 2 * real(e.Coeff[base+m]*s[base+m])
 		}
+		base += n + 1
 	}
 	return phi
 }
@@ -200,6 +204,20 @@ func (e *Expansion) EvaluateField(x vec.V3, p int) (phi float64, grad vec.V3) {
 // EvaluateFieldBuf is EvaluateField with a caller-provided scratch buffer of
 // length >= harmonics.Len(p+1) (nil allocates).
 //
+// The ladder identities
+//
+//	dS/dx = (S_{n+1}^{m+1} - S_{n+1}^{m-1})/2
+//	dS/dy = (S_{n+1}^{m+1} + S_{n+1}^{m-1})/(2i)
+//	dS/dz = -S_{n+1}^m
+//
+// are summed over -n <= m <= n, but the negative-m terms are the complex
+// conjugates of the positive-m terms (T_n^{-m} = (-1)^m conj(T_n^m) for
+// both the coefficients and the harmonics), so each gradient component
+// reduces to m = 0 plus twice the real part of the m >= 1 terms. That lets
+// the loop read the triangular m >= 0 storage directly — no symmetry-
+// resolving table lookups in the inner loop — and accumulate the three
+// components as scalars.
+//
 //treecode:hot
 func (e *Expansion) EvaluateFieldBuf(x vec.V3, p int, buf []complex128) (phi float64, grad vec.V3) {
 	if p > e.Degree {
@@ -207,28 +225,103 @@ func (e *Expansion) EvaluateFieldBuf(x vec.V3, p int, buf []complex128) (phi flo
 	}
 	// Need S up to degree p+1 for the derivatives.
 	s := harmonics.Irregular(buf, x.Sub(e.Center), p+1)
-	var gx, gy, gz complex128
+	var gx, gy, gz float64
+	base := 0 // harmonics.Idx(n, 0); row n+1 starts at base + n + 1
 	for n := 0; n <= p; n++ {
-		for m := -n; m <= n; m++ {
-			c := harmonics.Get(e.Coeff, e.Degree, n, m)
-			if m >= 0 {
-				if m == 0 {
-					phi += real(c * s[harmonics.Idx(n, 0)])
-				} else {
-					phi += 2 * real(c*s[harmonics.Idx(n, m)])
-				}
-			}
-			// dS/dx = (S_{n+1}^{m+1} - S_{n+1}^{m-1})/2
-			// dS/dy = (S_{n+1}^{m+1} + S_{n+1}^{m-1})/(2i)
-			// dS/dz = -S_{n+1}^m
-			sp := harmonics.Get(s, p+1, n+1, m+1)
-			sm := harmonics.Get(s, p+1, n+1, m-1)
-			gx += c * (sp - sm) / 2
-			gy += c * (sp + sm) / complex(0, 2)
-			gz += c * -harmonics.Get(s, p+1, n+1, m)
+		b1 := base + n + 1
+		// m = 0: S_{n+1}^{-1} = -conj(S_{n+1}^{1}) collapses the x/y
+		// ladder to the real and imaginary parts of S_{n+1}^{1}.
+		c := e.Coeff[base]
+		cr, ci := real(c), imag(c)
+		sv := s[base]
+		phi += cr*real(sv) - ci*imag(sv)
+		sp := s[b1+1]
+		gx += cr * real(sp)
+		gy += cr * imag(sp)
+		sm := s[b1]
+		gz -= cr*real(sm) - ci*imag(sm)
+		for m := 1; m <= n; m++ {
+			c := e.Coeff[base+m]
+			cr, ci := real(c), imag(c)
+			sv := s[base+m]
+			phi += 2 * (cr*real(sv) - ci*imag(sv))
+			spp := s[b1+m+1]
+			spm := s[b1+m-1]
+			// m and -m together: 2 Re of each ladder term.
+			gx += cr*(real(spp)-real(spm)) - ci*(imag(spp)-imag(spm))
+			gy += cr*(imag(spp)+imag(spm)) + ci*(real(spp)+real(spm))
+			smid := s[b1+m]
+			gz -= 2 * (cr*real(smid) - ci*imag(smid))
 		}
+		base = b1
 	}
-	return phi, vec.V3{X: real(gx), Y: real(gy), Z: real(gz)}
+	return phi, vec.V3{X: gx, Y: gy, Z: gz}
+}
+
+// EvaluateFused computes the M2P potential at x using terms up to degree p
+// (clamped to e.Degree), fusing the irregular-harmonic recurrence with the
+// coefficient dot product. Harmonics are consumed column-by-column (fixed
+// order m, increasing n) as the recurrence produces them, carried in three
+// scalar register pairs, so no scratch table is written or read and the
+// call performs no allocation. The real-valued recurrence scalars multiply
+// real/imaginary parts directly instead of going through complex
+// arithmetic, and the triangular coefficient index advances incrementally
+// (Idx(n+1,m) = Idx(n,m) + n + 1), so the inner loop is six multiplies and
+// a fused accumulate per term.
+//
+// The recurrences and term pairing are exactly EvaluatePrefix's; only the
+// floating-point association order differs, so results agree to roundoff.
+// This is the batched evaluator's kernel; the per-particle walk keeps the
+// two-pass EvaluatePrefix as the readable reference.
+//
+//treecode:hot
+func (e *Expansion) EvaluateFused(x vec.V3, p int) float64 {
+	if p > e.Degree {
+		p = e.Degree
+	}
+	d := x.Sub(e.Center)
+	ux, uy, z := d.X, d.Y, d.Z
+	invR2 := 1 / d.Norm2()
+
+	smr, smi := math.Sqrt(invR2), 0.0 // S_m^m, seeded with S_0^0 = 1/rho
+	var phi float64
+	w := 1.0 // column weight: 1 for m = 0, 2 for m >= 1 (conjugate symmetry)
+	im := 0  // Idx(m, m)
+	for m := 0; ; m++ {
+		c := e.Coeff[im]
+		cs := real(c)*smr - imag(c)*smi // column dot product, Re(C * S)
+		if m < p {
+			// S_{m+1}^m = (2m+1) z S_m^m / rho^2
+			f := float64(2*m+1) * z * invR2
+			pr, pi := f*smr, f*smi
+			i := im + m + 1 // Idx(m+1, m)
+			c = e.Coeff[i]
+			cs += real(c)*pr - imag(c)*pi
+			qr, qi := smr, smi // S_{n-2}^m trails the recurrence
+			for n := m + 2; n <= p; n++ {
+				// S_n^m = ((2n-1) z S_{n-1}^m - (n+m-1)(n-m-1) S_{n-2}^m) / rho^2
+				c1 := float64(2*n-1) * z * invR2
+				c2 := float64((n+m-1)*(n-m-1)) * invR2
+				nr := c1*pr - c2*qr
+				ni := c1*pi - c2*qi
+				i += n // Idx(n, m)
+				c = e.Coeff[i]
+				cs += real(c)*nr - imag(c)*ni
+				qr, qi = pr, pi
+				pr, pi = nr, ni
+			}
+		}
+		phi += w * cs
+		if m == p {
+			return phi
+		}
+		// S_{m+1}^{m+1} = -(2m+1) (x+iy) S_m^m / rho^2
+		f := float64(2*m+1) * invR2
+		ar, ai := -f*ux, -f*uy
+		smr, smi = ar*smr-ai*smi, ar*smi+ai*smr
+		im += m + 2 // Idx(m+1, m+1)
+		w = 2
+	}
 }
 
 // TruncationBound returns the Greengard-Rokhlin bound on the absolute error
@@ -239,6 +332,37 @@ func TruncationBound(A, a, r float64, p int) float64 {
 		return math.Inf(1)
 	}
 	return A / (r - a) * math.Pow(a/r, float64(p+1))
+}
+
+// TruncationBoundFast is TruncationBound with the integer power computed by
+// exponentiation-by-squaring instead of math.Pow — several times cheaper on
+// the per-interaction hot path, identical to machine precision (the paper's
+// formula is unchanged; only the power evaluation differs). Used by the
+// batched evaluator's per-accept bound accounting.
+//
+//treecode:hot
+func TruncationBoundFast(A, a, r float64, p int) float64 {
+	if r <= a {
+		return math.Inf(1)
+	}
+	return A / (r - a) * powInt(a/r, p+1)
+}
+
+// powInt returns x^n for n >= 0 by binary exponentiation.
+func powInt(x float64, n int) float64 {
+	y := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			y *= x
+		}
+		x *= x
+	}
+	return y
+}
+
+// BoundAtFast is BoundAt using TruncationBoundFast.
+func (e *Expansion) BoundAtFast(x vec.V3, p int) float64 {
+	return TruncationBoundFast(e.AbsCharge, e.Radius, x.Dist(e.Center), p)
 }
 
 // Bound returns TruncationBound for this expansion at distance r.

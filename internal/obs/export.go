@@ -38,6 +38,7 @@ type MetricsData struct {
 	M2PTerms     int64            `json:"m2p_terms"`
 	PPPairs      int64            `json:"pp_pairs"`
 	BudgetTotal  float64          `json:"budget_total"`
+	Batch        BatchMetrics     `json:"batch"`
 }
 
 // Snapshot is the full exported state of a collector: the span forest and
@@ -65,6 +66,7 @@ func (c *Collector) Snapshot() Snapshot {
 		ratio.Mean = m.OpenRatio.Mean()
 	}
 	md.OpenRatio = ratio
+	md.Batch = m.Batch
 	for l, lm := range m.Levels {
 		if lm == (LevelMetrics{}) {
 			continue

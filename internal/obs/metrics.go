@@ -62,6 +62,29 @@ func (r *RatioStats) Mean() float64 {
 	return r.Sum / float64(r.N)
 }
 
+// BatchMetrics counts what the leaf-batched (dual-tree) evaluation mode
+// did beyond the per-interaction census: how much traversal the shared
+// per-leaf lists amortized, how often the conservative sphere MAC had to
+// fall back to per-particle refinement, and how many scheduler steals
+// rebalanced the leaf tasks.
+type BatchMetrics struct {
+	LeafTasks     int64 `json:"leaf_tasks"`     // target leaves processed
+	SharedEntries int64 `json:"shared_entries"` // clusters on shared far-field lists
+	SharedServed  int64 `json:"shared_served"`  // particle-interactions served from shared lists
+	RefineChecks  int64 `json:"refine_checks"`  // per-particle MAC tests in the refinement band
+	RefineAccepts int64 `json:"refine_accepts"` // refinement-band tests that accepted
+	Steals        int64 `json:"steals"`         // work-stealing scheduler steal events
+}
+
+func (b *BatchMetrics) add(o *BatchMetrics) {
+	b.LeafTasks += o.LeafTasks
+	b.SharedEntries += o.SharedEntries
+	b.SharedServed += o.SharedServed
+	b.RefineChecks += o.RefineChecks
+	b.RefineAccepts += o.RefineAccepts
+	b.Steals += o.Steals
+}
+
 // Metrics is the merged interaction census of a run. Levels is indexed by
 // tree level and DegreeHist by multipole degree; both grow on demand.
 type Metrics struct {
@@ -69,6 +92,7 @@ type Metrics struct {
 	DegreeHist   []int64        // accepted interactions per degree
 	OpenRatio    RatioStats     // a/r over accepted interactions
 	DegreeClamps int64          // degree selections clamped at the stability cap
+	Batch        BatchMetrics   // leaf-batched evaluation counters (zero for walk mode)
 }
 
 // Accepts returns the total MAC acceptances across levels.
@@ -145,6 +169,7 @@ func (m *Metrics) mergeFrom(o *Metrics) {
 	}
 	m.OpenRatio.merge(&o.OpenRatio)
 	m.DegreeClamps += o.DegreeClamps
+	m.Batch.add(&o.Batch)
 }
 
 func (m *Metrics) clone() Metrics {
@@ -195,6 +220,41 @@ func (s *Shard) Reject(level int) {
 		return
 	}
 	s.m.level(level).Rejects++
+}
+
+// RejectN records n MAC rejections at the given tree level at once — the
+// leaf-batched evaluator's bulk form: when the conservative sphere test
+// proves every particle of a target leaf rejects a cluster, all n
+// per-particle rejections are recorded in one call, keeping the census
+// identical to the per-particle walk's.
+func (s *Shard) RejectN(level int, n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.m.level(level).Rejects += n
+}
+
+// BatchLeaf records one processed target leaf: entries clusters on its
+// shared far-field list serving served particle-interactions without any
+// per-particle MAC test.
+func (s *Shard) BatchLeaf(entries, served int64) {
+	if s == nil {
+		return
+	}
+	s.m.Batch.LeafTasks++
+	s.m.Batch.SharedEntries += entries
+	s.m.Batch.SharedServed += served
+}
+
+// Refine records per-particle MAC tests in the conservative-MAC refinement
+// band (clusters neither provably accepted nor provably rejected for the
+// whole leaf) and how many of them accepted.
+func (s *Shard) Refine(checks, accepts int64) {
+	if s == nil {
+		return
+	}
+	s.m.Batch.RefineChecks += checks
+	s.m.Batch.RefineAccepts += accepts
 }
 
 // Direct records pairs direct particle-particle interactions against a

@@ -67,6 +67,18 @@ func (c *Collector) AddDegreeClamps(n int64) {
 	c.mu.Unlock()
 }
 
+// AddSteals adds n work-stealing scheduler steal events to the batch
+// metrics. Recorded once per evaluation from the scheduler's run stats
+// (steals are a property of the whole pool, not of one worker). Nil-safe.
+func (c *Collector) AddSteals(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.metrics.Batch.Steals += n
+	c.mu.Unlock()
+}
+
 // Metrics returns a deep copy of the merged interaction metrics. Nil-safe:
 // a nil collector yields the zero Metrics.
 func (c *Collector) Metrics() Metrics {

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunRaceWorkerGrid drives the scheduler across worker counts from 1 to
+// 2x GOMAXPROCS with tasks that write disjoint slice slots (the batched
+// evaluator's access pattern: each leaf owns a disjoint particle range).
+// Run with -race: any double-yield or lost task shows up as a data race on
+// the unsynchronized out slice or as a count mismatch.
+func TestRunRaceWorkerGrid(t *testing.T) {
+	const n = 2048
+	maxW := 2 * runtime.GOMAXPROCS(0)
+	for workers := 1; workers <= maxW; workers++ {
+		out := make([]int, n) // intentionally unsynchronized: slots are disjoint
+		Run(n, workers, func(id int, next func() (int, bool)) {
+			for task, ok := next(); ok; task, ok = next() {
+				out[task] = id + 1
+			}
+		})
+		for i, v := range out {
+			if v == 0 {
+				t.Fatalf("workers=%d: task %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentRuns exercises several independent Run invocations at once
+// (the sweep-service pattern: many evaluations sharing the process), each
+// with skewed work to force concurrent steals inside every pool.
+func TestConcurrentRuns(t *testing.T) {
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var total atomic.Int64
+			const n = 512
+			Run(n, 4, func(id int, next func() (int, bool)) {
+				for task, ok := next(); ok; task, ok = next() {
+					// Skew: tail tasks burn more CPU, forcing steals.
+					iters := 10
+					if task > 3*n/4 {
+						iters = 2000
+					}
+					x := 0.0
+					for i := 0; i < iters; i++ {
+						x += float64(i)
+					}
+					_ = x
+					total.Add(1)
+				}
+			})
+			if got := total.Load(); got != n {
+				t.Errorf("ran %d tasks, want %d", got, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSharedAccumulatorMerge mirrors the evaluator's shard pattern: each
+// worker accumulates privately and merges under one mutex at the end. The
+// merged total must be exact regardless of how tasks migrated.
+func TestSharedAccumulatorMerge(t *testing.T) {
+	const n = 4096
+	var mu sync.Mutex
+	var merged int64
+	st := Run(n, 2*runtime.GOMAXPROCS(0), func(id int, next func() (int, bool)) {
+		var local int64
+		for task, ok := next(); ok; task, ok = next() {
+			local += int64(task)
+		}
+		mu.Lock()
+		merged += local
+		mu.Unlock()
+	})
+	want := int64(n) * int64(n-1) / 2
+	if merged != want {
+		t.Fatalf("merged sum %d, want %d (stats %+v)", merged, want, st)
+	}
+}

@@ -1,0 +1,180 @@
+// Package sched provides a work-stealing scheduler for index-addressed
+// task sets, built only on the standard library.
+//
+// The treecode's leaf-batched evaluator produces one task per target leaf.
+// Leaves are proximity-ordered (tree order), so a worker that processes a
+// contiguous run of leaves revisits the same clusters and source leaves and
+// stays cache-warm — but the work per leaf is wildly uneven for clustered
+// (Gaussian, overlapped-Gaussian) distributions, so a purely static
+// partition leaves processors idle. The scheduler keeps both properties:
+//
+//   - Each worker starts with a contiguous, equal-count run of tasks and
+//     consumes it front-to-back (locality).
+//   - A worker that runs dry steals the trailing half of the largest
+//     remaining run (balance). Stealing the tail keeps both the victim's
+//     and the thief's remaining runs contiguous.
+//
+// Deques are tiny (two ints) and guarded by per-worker mutexes; pops and
+// steals are O(1) and the lock is held for a handful of instructions, so
+// contention is negligible next to per-task work. The number of steals is
+// reported for observability.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats reports what one Run did.
+type Stats struct {
+	Workers int   // goroutines actually used
+	Tasks   int   // tasks executed
+	Steals  int64 // successful steal operations (each moves a run of tasks)
+}
+
+// run is one worker's pending contiguous task range [lo, hi).
+type run struct {
+	mu sync.Mutex
+	lo int
+	hi int
+}
+
+// pop takes the front task of the run (locality order).
+func (r *run) pop() (int, bool) {
+	r.mu.Lock()
+	if r.lo >= r.hi {
+		r.mu.Unlock()
+		return 0, false
+	}
+	t := r.lo
+	r.lo++
+	r.mu.Unlock()
+	return t, true
+}
+
+// size returns the number of pending tasks (racy snapshot for victim
+// selection; correctness does not depend on it).
+func (r *run) size() int {
+	r.mu.Lock()
+	n := r.hi - r.lo
+	r.mu.Unlock()
+	return n
+}
+
+// stealInto moves the trailing half of r into d (which must be empty).
+// Returns false when r has at most one pending task: singleton runs are
+// left to their owner, avoiding churn on the last tasks.
+func (r *run) stealInto(d *run) bool {
+	r.mu.Lock()
+	n := r.hi - r.lo
+	if n < 2 {
+		r.mu.Unlock()
+		return false
+	}
+	mid := r.lo + n/2 + n%2 // victim keeps the (larger) front half
+	lo, hi := mid, r.hi
+	r.hi = mid
+	r.mu.Unlock()
+	d.mu.Lock()
+	d.lo, d.hi = lo, hi
+	d.mu.Unlock()
+	return true
+}
+
+// Run executes tasks 0..n-1 on the given number of goroutines (0 or
+// negative means GOMAXPROCS) and blocks until all complete. Each worker
+// receives its id and a next function yielding task indices until the
+// global task set is exhausted; body is called once per worker, so
+// per-worker setup (scratch buffers, metric shards) amortizes naturally:
+//
+//	sched.Run(len(leaves), workers, func(id int, next func() (int, bool)) {
+//		w := newWorkerState(id)
+//		for t, ok := next(); ok; t, ok = next() {
+//			process(leaves[t], w)
+//		}
+//		w.flush()
+//	})
+//
+// Every task index is yielded exactly once across all workers.
+func Run(n, workers int, body func(id int, next func() (int, bool))) Stats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return Stats{}
+	}
+	if workers <= 1 {
+		i := 0
+		body(0, func() (int, bool) {
+			if i >= n {
+				return 0, false
+			}
+			t := i
+			i++
+			return t, true
+		})
+		return Stats{Workers: 1, Tasks: n}
+	}
+
+	// Contiguous equal-count initial partition.
+	runs := make([]run, workers)
+	for w := 0; w < workers; w++ {
+		runs[w].lo = w * n / workers
+		runs[w].hi = (w + 1) * n / workers
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	var steals atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			own := &runs[id]
+			next := func() (int, bool) {
+				for {
+					if t, ok := own.pop(); ok {
+						remaining.Add(-1)
+						return t, true
+					}
+					if !stealFor(id, runs) {
+						if remaining.Load() == 0 {
+							return 0, false
+						}
+						// Tasks are still in flight (or briefly mid-steal);
+						// yield and retry rather than spin hot.
+						runtime.Gosched()
+						continue
+					}
+					steals.Add(1)
+				}
+			}
+			body(id, next)
+		}(w)
+	}
+	wg.Wait()
+	return Stats{Workers: workers, Tasks: n, Steals: steals.Load()}
+}
+
+// stealFor moves half of the largest victim run into runs[id]. Returns
+// false when no victim had at least two pending tasks.
+func stealFor(id int, runs []run) bool {
+	best, bestN := -1, 1
+	for v := range runs {
+		if v == id {
+			continue
+		}
+		if n := runs[v].size(); n > bestN {
+			best, bestN = v, n
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	return runs[best].stealInto(&runs[id])
+}

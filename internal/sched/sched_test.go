@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEveryTaskExactlyOnce checks the fundamental contract over a grid of
+// task and worker counts: each index in [0, n) is yielded exactly once.
+func TestEveryTaskExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, workers := range []int{1, 2, 3, 8, 33} {
+			seen := make([]int32, n)
+			st := Run(n, workers, func(id int, next func() (int, bool)) {
+				for task, ok := next(); ok; task, ok = next() {
+					atomic.AddInt32(&seen[task], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: task %d executed %d times", n, workers, i, c)
+				}
+			}
+			if st.Tasks != n {
+				t.Errorf("n=%d workers=%d: Stats.Tasks = %d", n, workers, st.Tasks)
+			}
+			if n > 0 && (st.Workers < 1 || st.Workers > workers) {
+				t.Errorf("n=%d workers=%d: Stats.Workers = %d", n, workers, st.Workers)
+			}
+		}
+	}
+}
+
+// TestBodyCalledOncePerWorker verifies per-worker setup amortization: body
+// runs exactly once per worker goroutine with distinct ids.
+func TestBodyCalledOncePerWorker(t *testing.T) {
+	const workers = 4
+	var mu sync.Mutex
+	ids := map[int]int{}
+	Run(100, workers, func(id int, next func() (int, bool)) {
+		mu.Lock()
+		ids[id]++
+		mu.Unlock()
+		for _, ok := next(); ok; _, ok = next() {
+		}
+	})
+	if len(ids) != workers {
+		t.Fatalf("body saw %d distinct ids, want %d", len(ids), workers)
+	}
+	for id, c := range ids {
+		if c != 1 {
+			t.Errorf("worker %d ran body %d times", id, c)
+		}
+		if id < 0 || id >= workers {
+			t.Errorf("worker id %d out of range", id)
+		}
+	}
+}
+
+// TestImbalancedLoadSteals gives the last worker's partition nearly all the
+// work (a heavy tail mimicking a Gaussian clump in tree order) and checks
+// that stealing actually rebalances: the skewed run must not be processed
+// by its owner alone, and every task must still run exactly once.
+func TestImbalancedLoadSteals(t *testing.T) {
+	const n, workers = 256, 4
+	var executed [workers]int64
+	spin := func(iters int) float64 {
+		x := 0.0
+		for i := 0; i < iters; i++ {
+			x += float64(i % 7)
+		}
+		return x
+	}
+	st := Run(n, workers, func(id int, next func() (int, bool)) {
+		for task, ok := next(); ok; task, ok = next() {
+			// Heavy tail: the last quarter of tasks is ~1000x the first's.
+			iters := 200
+			if task >= 3*n/4 {
+				iters = 200_000
+			}
+			_ = spin(iters)
+			atomic.AddInt64(&executed[id], 1)
+		}
+	})
+	if st.Steals == 0 {
+		t.Fatalf("no steals despite 1000x load skew (executed: %v)", executed)
+	}
+	var total int64
+	for _, c := range executed {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("executed %d tasks, want %d", total, n)
+	}
+	if executed[workers-1] == int64(n/workers) && st.Steals == 0 {
+		t.Errorf("heavy run fully processed by its owner; no rebalancing")
+	}
+}
+
+// TestUniformLoadFewSteals checks the locality side: with even work the
+// steal count stays O(workers * log(run length)) — the wind-down cascade —
+// rather than scaling with the task count.
+func TestUniformLoadFewSteals(t *testing.T) {
+	const n, workers = 4096, 4
+	st := Run(n, workers, func(id int, next func() (int, bool)) {
+		x := 0.0
+		for _, ok := next(); ok; _, ok = next() {
+			for i := 0; i < 2000; i++ {
+				x += float64(i)
+			}
+		}
+		_ = x
+	})
+	if st.Steals > workers*16 {
+		t.Errorf("uniform load produced %d steals; locality lost", st.Steals)
+	}
+}
+
+// TestStealKeepsContiguity exercises the half-run steal path directly.
+func TestStealKeepsContiguity(t *testing.T) {
+	var victim, thief run
+	victim.lo, victim.hi = 10, 20
+	if !victim.stealInto(&thief) {
+		t.Fatal("steal from 10-task run failed")
+	}
+	if victim.lo != 10 || victim.hi != 15 || thief.lo != 15 || thief.hi != 20 {
+		t.Fatalf("after steal victim=[%d,%d) thief=[%d,%d)", victim.lo, victim.hi, thief.lo, thief.hi)
+	}
+	// Odd size: victim keeps the larger front half.
+	victim.lo, victim.hi = 0, 5
+	thief = run{}
+	victim.stealInto(&thief)
+	if victim.hi-victim.lo != 3 || thief.hi-thief.lo != 2 {
+		t.Fatalf("odd split victim=%d thief=%d", victim.hi-victim.lo, thief.hi-thief.lo)
+	}
+	// Singleton runs are never stolen.
+	victim.lo, victim.hi = 7, 8
+	thief = run{}
+	if victim.stealInto(&thief) {
+		t.Fatal("stole from singleton run")
+	}
+}
+
+func BenchmarkRunOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Run(1024, 4, func(id int, next func() (int, bool)) {
+			for _, ok := next(); ok; _, ok = next() {
+			}
+		})
+	}
+}

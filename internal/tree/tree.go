@@ -33,6 +33,15 @@ type Node struct {
 	AbsCharge float64 // A = sum |q_i|
 	Radius    float64 // max distance from Center to a contained particle
 
+	// Centroid and BRadius are the node's geometric bounding sphere: the
+	// unweighted mean of the contained positions and the max distance from
+	// it. The leaf-batched (dual-tree) evaluator tests the MAC against this
+	// sphere when the node acts as a *target* group — unlike Center/Radius
+	// it is independent of the charges, so extreme charge skew cannot
+	// inflate the target sphere and widen the refinement band.
+	Centroid vec.V3
+	BRadius  float64
+
 	Degree int                  // multipole degree selected by the evaluator
 	Mp     *multipole.Expansion // filled by the evaluator's upward pass
 }
@@ -152,7 +161,7 @@ func (t *Tree) build(box geom.AABB, lo, hi, level int) *Node {
 // summarize computes the cluster statistics of a node.
 func (t *Tree) summarize(n *Node) {
 	var absQ, q float64
-	var wc vec.V3
+	var wc, gc vec.V3
 	for i := n.Start; i < n.End; i++ {
 		a := t.Q[i]
 		q += a
@@ -161,6 +170,7 @@ func (t *Tree) summarize(n *Node) {
 		}
 		absQ += a
 		wc = wc.Add(t.Pos[i].Scale(a))
+		gc = gc.Add(t.Pos[i])
 	}
 	n.Charge = q
 	n.AbsCharge = absQ
@@ -170,13 +180,22 @@ func (t *Tree) summarize(n *Node) {
 		// Zero net absolute charge (massless cluster): geometric center.
 		n.Center = n.Box.Center()
 	}
-	var r2 float64
+	if cnt := n.Count(); cnt > 0 {
+		n.Centroid = gc.Scale(1 / float64(cnt))
+	} else {
+		n.Centroid = n.Box.Center()
+	}
+	var r2, b2 float64
 	for i := n.Start; i < n.End; i++ {
 		if d := t.Pos[i].Dist2(n.Center); d > r2 {
 			r2 = d
 		}
+		if d := t.Pos[i].Dist2(n.Centroid); d > b2 {
+			b2 = d
+		}
 	}
 	n.Radius = math.Sqrt(r2)
+	n.BRadius = math.Sqrt(b2)
 }
 
 // Walk visits every node in pre-order.

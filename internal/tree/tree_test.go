@@ -103,6 +103,43 @@ func TestNodeStats(t *testing.T) {
 	})
 }
 
+// TestGeometricBoundingSphere checks the target-side sphere used by the
+// leaf-batched evaluator: every contained particle lies within BRadius of
+// Centroid, and the sphere is charge-independent.
+func TestGeometricBoundingSphere(t *testing.T) {
+	set, tr := buildUniform(t, 2000, 16)
+	tr.Walk(func(n *Node) {
+		for i := n.Start; i < n.End; i++ {
+			if d := tr.Pos[i].Dist(n.Centroid); d > n.BRadius*(1+1e-12)+1e-15 {
+				t.Fatalf("particle at distance %v > bounding radius %v", d, n.BRadius)
+			}
+		}
+		if !n.Box.Contains(n.Centroid) {
+			t.Fatalf("centroid %v outside box at level %d", n.Centroid, n.Level)
+		}
+	})
+	// Skewed charges must not move the geometric sphere.
+	skew := set.Clone()
+	for i := range skew.Particles {
+		skew.Particles[i].Charge *= float64(1 + i%17*1000)
+	}
+	tr2, err := Build(skew, Config{LeafCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []float64
+	tr.Walk(func(n *Node) { a = append(a, n.BRadius) })
+	tr2.Walk(func(n *Node) { b = append(b, n.BRadius) })
+	if len(a) != len(b) {
+		t.Fatalf("tree shapes differ: %d vs %d nodes", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("BRadius depends on charges: node %d %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestParentChildCharges(t *testing.T) {
 	_, tr := buildUniform(t, 1500, 8)
 	tr.Walk(func(n *Node) {
