@@ -24,6 +24,7 @@ import (
 	"treecode/internal/parallel"
 	"treecode/internal/points"
 	"treecode/internal/stats"
+	"treecode/internal/tree"
 )
 
 // table1Case runs one Table 1 cell: n particles of dist with unit charges.
@@ -289,4 +290,79 @@ func BenchmarkGMRESSolve(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.Iterations), "matvecs")
 	b.ReportMetric(math.Abs(bp.TotalCharge(res.Density)-1), "cap-error")
+}
+
+// constructionSet is the 100k-particle workload of the construction
+// benchmarks (BenchmarkTreeBuild / BenchmarkUpward / BenchmarkRecharge),
+// matching the tentpole target "tree build + upward on 100k particles".
+func constructionSet(b *testing.B) *points.Set {
+	b.Helper()
+	set, err := points.Generate(points.Uniform, 100000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// BenchmarkTreeBuild times the parallel octree constructions (recursive
+// octant partition and Morton sort) at 1, 4, and 8 workers.
+func BenchmarkTreeBuild(b *testing.B) {
+	set := constructionSet(b)
+	for _, bc := range []struct {
+		name  string
+		build func(*points.Set, tree.Config) (*tree.Tree, error)
+	}{{"recursive", tree.Build}, {"morton", tree.BuildMorton}} {
+		for _, w := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", bc.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bc.build(set, tree.Config{LeafCap: 8, Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkUpward times the level-synchronized P2M/M2M pass alone.
+func BenchmarkUpward(b *testing.B) {
+	set := constructionSet(b)
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e, err := core.New(set, core.Config{Method: core.Adaptive, Alpha: 0.5, Degree: 4, Workers: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Upward()
+			}
+		})
+	}
+}
+
+// BenchmarkRecharge times SetCharges — the per-GMRES-iteration cost of the
+// BEM solver — for both evaluation modes at 1, 4, and 8 workers.
+func BenchmarkRecharge(b *testing.B) {
+	set := constructionSet(b)
+	q := make([]float64, set.N())
+	for i, p := range set.Particles {
+		q[i] = 1.1 * p.Charge
+	}
+	for _, mode := range []core.EvalMode{core.EvalWalk, core.EvalBatched} {
+		for _, w := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode, w), func(b *testing.B) {
+				e, err := core.New(set, core.Config{Method: core.Adaptive, Alpha: 0.5, Degree: 4, Workers: w, Eval: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := e.SetCharges(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

@@ -7,7 +7,11 @@
 // drift between the two modes (which share the exact same interaction set,
 // so the drift is pure summation-order roundoff). For sizes up to -maxdirect
 // it also measures the true relative error and the Theorem 2 bound sum
-// against O(n^2) direct summation.
+// against O(n^2) direct summation. A separate builds section records the
+// construction pipeline's phase timings (tree build, degree selection,
+// upward pass, identity recharge) per worker count for both tree
+// constructions, via the core/build, core/upward, and core/recharge obs
+// spans.
 //
 // The checked-in BENCH_treecode.json is produced by the default flags; CI
 // runs the short variant (-sizes 2000,8000 -reps 1) and uploads the result
@@ -28,6 +32,7 @@ import (
 	"treecode/internal/cliio"
 	"treecode/internal/core"
 	"treecode/internal/direct"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/stats"
 )
@@ -60,18 +65,88 @@ type pair struct {
 	BoundRatio float64 `json:"bound_sum_ratio"` // batched/walk; 1 up to roundoff
 }
 
+// buildResult records the construction-pipeline phase timings of one
+// (dist, n, tree, workers) cell: the obs spans of core.New (tree build,
+// degree selection, upward pass) plus one identity SetCharges (the
+// per-GMRES-iteration recharge cost). Best of -reps runs by total.
+type buildResult struct {
+	Dist             string  `json:"dist"`
+	N                int     `json:"n"`
+	Tree             string  `json:"tree"` // recursive or morton
+	Workers          int     `json:"workers"`
+	TreeMS           float64 `json:"tree_ms"`
+	DegreesMS        float64 `json:"degrees_ms"`
+	UpwardMS         float64 `json:"upward_ms"`
+	RechargeMS       float64 `json:"recharge_ms"`
+	RechargeStatsMS  float64 `json:"recharge_stats_ms"`
+	RechargeUpwardMS float64 `json:"recharge_upward_ms"`
+	TotalMS          float64 `json:"total_ms"` // tree + degrees + upward
+}
+
 type doc struct {
-	Schema     string   `json:"schema"`
-	Go         string   `json:"go"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Timestamp  string   `json:"timestamp"`
-	Method     string   `json:"method"`
-	Alpha      float64  `json:"alpha"`
-	Degree     int      `json:"degree"`
-	Reps       int      `json:"reps"`
-	Seed       int64    `json:"seed"`
-	Results    []result `json:"results"`
-	Pairs      []pair   `json:"pairs"`
+	Schema     string        `json:"schema"`
+	Go         string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Timestamp  string        `json:"timestamp"`
+	Method     string        `json:"method"`
+	Alpha      float64       `json:"alpha"`
+	Degree     int           `json:"degree"`
+	Reps       int           `json:"reps"`
+	Seed       int64         `json:"seed"`
+	Results    []result      `json:"results"`
+	Pairs      []pair        `json:"pairs"`
+	Builds     []buildResult `json:"builds"`
+}
+
+// spanMS returns the duration in ms of the first span matching path (a
+// top-level name followed by child names), or 0 when absent.
+func spanMS(spans []obs.SpanData, path ...string) float64 {
+	for _, s := range spans {
+		if s.Name != path[0] {
+			continue
+		}
+		if len(path) == 1 {
+			return float64(s.DurNS) / 1e6
+		}
+		return spanMS(s.Children, path[1:]...)
+	}
+	return 0
+}
+
+// measureBuild times one construction cell (best of reps by total).
+func measureBuild(set *points.Set, cfg core.Config, morton bool, reps int) (buildResult, error) {
+	var best buildResult
+	best.TotalMS = math.Inf(1)
+	cfg.MortonTree = morton
+	q := make([]float64, set.N())
+	for i, p := range set.Particles {
+		q[i] = p.Charge
+	}
+	for r := 0; r < reps; r++ {
+		col := obs.New()
+		cfg.Obs = col
+		e, err := core.New(set, cfg)
+		if err != nil {
+			return best, err
+		}
+		if err := e.SetCharges(q); err != nil {
+			return best, err
+		}
+		spans := col.Spans()
+		br := buildResult{
+			TreeMS:           spanMS(spans, "core/build", "tree"),
+			DegreesMS:        spanMS(spans, "core/build", "degrees"),
+			UpwardMS:         spanMS(spans, "core/upward"),
+			RechargeMS:       spanMS(spans, "core/recharge"),
+			RechargeStatsMS:  spanMS(spans, "core/recharge", "stats"),
+			RechargeUpwardMS: spanMS(spans, "core/recharge", "upward"),
+		}
+		br.TotalMS = br.TreeMS + br.DegreesMS + br.UpwardMS
+		if br.TotalMS < best.TotalMS {
+			best = br
+		}
+	}
+	return best, nil
 }
 
 func main() {
@@ -83,6 +158,7 @@ func main() {
 	reps := flag.Int("reps", 2, "evaluations per cell (best is reported)")
 	seed := flag.Int64("seed", 42, "point-set seed")
 	maxDirect := flag.Int("maxdirect", 20000, "largest n to check against direct summation")
+	buildWorkers := flag.String("buildworkers", "1,4,8", "comma-separated worker counts for the construction-phase section (empty disables)")
 	out := flag.String("o", "BENCH_treecode.json", "output file (- for stdout)")
 	flag.Parse()
 
@@ -102,7 +178,7 @@ func main() {
 	}
 
 	d := doc{
-		Schema:     "treecode-bench/v1",
+		Schema:     "treecode-bench/v2",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
@@ -177,6 +253,25 @@ func main() {
 					BatchedMS:  batchedRes.EvalMS,
 					BoundRatio: batchedRes.BoundSum / walkRes.BoundSum,
 				})
+			}
+			for _, wStr := range splitTrim(*buildWorkers) {
+				w, err := strconv.Atoi(wStr)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad build worker count %q: %v\n", wStr, err)
+					os.Exit(1)
+				}
+				for _, tr := range []string{"recursive", "morton"} {
+					cfg := core.Config{Method: m, Alpha: *alpha, Degree: *degree, Workers: w}
+					br, err := measureBuild(set, cfg, tr == "morton", *reps)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					br.Dist, br.N, br.Tree, br.Workers = dist, n, tr, w
+					d.Builds = append(d.Builds, br)
+					fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d %-9s build %.1f ms (tree %.1f, upward %.1f, recharge %.1f)\n",
+						dist, n, w, tr, br.TotalMS, br.TreeMS, br.UpwardMS, br.RechargeMS)
+				}
 			}
 		}
 	}

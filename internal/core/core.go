@@ -253,7 +253,7 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 		build = tree.BuildMorton
 	}
 	sp := bsp.Child("tree")
-	tr, err := build(set, tree.Config{LeafCap: cfg.LeafCap})
+	tr, err := build(set, tree.Config{LeafCap: cfg.LeafCap, Workers: cfg.Workers})
 	sp.End()
 	if err != nil {
 		bsp.End()
@@ -263,16 +263,14 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 	sp = bsp.Child("degrees")
 	e.selectDegrees()
 	sp.End()
-	sp = bsp.Child("expansions")
-	e.buildExpansions()
-	sp.End()
 	bsp.End()
-	e.leaves = tr.Leaves()
 	for _, d := range e.upDegree {
 		if d > e.maxP {
 			e.maxP = d
 		}
 	}
+	e.Upward()
+	e.leaves = tr.Leaves()
 	e.buildT = time.Since(start)
 	return e, nil
 }
@@ -320,32 +318,49 @@ func (e *Evaluator) selectDegrees() {
 	down(e.Tree.Root, 0)
 }
 
-// buildExpansions runs the upward pass: P2M at leaves, M2M to parents.
-func (e *Evaluator) buildExpansions() {
+// Upward runs the upward multipole pass (P2M at leaves, M2M to parents)
+// level-synchronized on the work-stealing pool: all nodes of the deepest
+// level first, so every M2M reads fully-built children. Each worker carries
+// one spherical-harmonics scratch buffer; per-node arithmetic (own range in
+// tree order, children in fixed order) never depends on the schedule, so
+// the expansions are bitwise identical at any worker count. New() calls it
+// once; it is exported so recharge paths and benchmarks can rerun it after
+// charges change.
+func (e *Evaluator) Upward() {
+	sp := e.Cfg.Obs.Start("core/upward")
+	defer sp.End()
+	e.upward(e.Cfg.Workers)
+}
+
+func (e *Evaluator) upward(workers int) {
 	t := e.Tree
-	var buf []complex128
-	t.WalkPost(func(n *tree.Node) {
-		p := e.upDegree[n]
-		n.Mp = multipole.NewExpansion(n.Center, p)
-		if n.IsLeaf() {
-			if cap(buf) < harmonics.Len(p) {
-				buf = make([]complex128, harmonics.Len(p))
+	tree.LevelSyncUp(t, workers,
+		func() []complex128 { return make([]complex128, harmonics.Len(e.maxP)) },
+		func(n *tree.Node, buf []complex128) {
+			p := e.upDegree[n]
+			if n.Mp == nil || n.Mp.Degree != p {
+				n.Mp = multipole.NewExpansion(n.Center, p)
+			} else {
+				// Recharge path: same degree and center, reuse the
+				// coefficient storage instead of reallocating.
+				n.Mp.Clear()
 			}
-			for i := n.Start; i < n.End; i++ {
-				n.Mp.AddParticleAt(t.Pos[i], t.Q[i], buf[:harmonics.Len(p)])
+			if n.IsLeaf() {
+				for i := n.Start; i < n.End; i++ {
+					n.Mp.AddParticleAt(t.Pos[i], t.Q[i], buf[:harmonics.Len(p)])
+				}
+				return
 			}
-			return
-		}
-		for _, c := range n.Children {
-			n.Mp.AccumulateTranslated(c.Mp)
-		}
-		// The translated radius estimate (child radius + shift) can
-		// overshoot the true cluster radius; the tree's exact value is
-		// available, so keep the tighter of the two.
-		if n.Radius < n.Mp.Radius {
-			n.Mp.Radius = n.Radius
-		}
-	})
+			for _, c := range n.Children {
+				n.Mp.AccumulateTranslatedBuf(c.Mp, buf[:harmonics.Len(p)])
+			}
+			// The translated radius estimate (child radius + shift) can
+			// overshoot the true cluster radius; the tree's exact value is
+			// available, so keep the tighter of the two.
+			if n.Radius < n.Mp.Radius {
+				n.Mp.Radius = n.Radius
+			}
+		})
 }
 
 // SetCharges replaces the particle charges (given in the original order used
@@ -363,17 +378,16 @@ func (e *Evaluator) SetCharges(q []float64) error {
 	for i, orig := range t.Perm {
 		t.Q[i] = q[orig]
 	}
-	// Refresh node charge statistics (centers are kept: moving expansion
-	// centers would change the decomposition the degrees were chosen for).
-	t.WalkPost(func(n *tree.Node) {
-		var a, qq float64
-		for i := n.Start; i < n.End; i++ {
-			qq += t.Q[i]
-			a += math.Abs(t.Q[i])
-		}
-		n.Charge, n.AbsCharge = qq, a
-	})
-	e.buildExpansions()
+	// Refresh node charge statistics bottom-up — leaves rescan their own
+	// range, internal nodes sum children — O(nodes + n) instead of the old
+	// O(n·depth) per-node rescan. Centers are kept: moving expansion
+	// centers would change the decomposition the degrees were chosen for.
+	c := sp.Child("stats")
+	t.RefreshChargeStats(e.Cfg.Workers)
+	c.End()
+	c = sp.Child("upward")
+	e.upward(e.Cfg.Workers)
+	c.End()
 	return nil
 }
 

@@ -66,16 +66,19 @@ func TestObsMetricsMatchStats(t *testing.T) {
 	if m.BudgetTotal() < st.BoundSum {
 		t.Fatalf("Theorem 2 budget %v below Theorem 1 sum %v", m.BudgetTotal(), st.BoundSum)
 	}
-	// Spans: one build (with three phases) and one evaluation with workers.
+	// Spans: one build (tree + degrees), one upward pass, and one
+	// evaluation with workers.
 	spans := col.Spans()
-	var haveBuild, haveEval bool
+	var haveBuild, haveUpward, haveEval bool
 	for _, s := range spans {
 		switch s.Name {
 		case "core/build":
 			haveBuild = true
-			if len(s.Children) != 3 {
-				t.Fatalf("build span has %d children, want 3", len(s.Children))
+			if len(s.Children) != 2 {
+				t.Fatalf("build span has %d children, want 2 (tree, degrees)", len(s.Children))
 			}
+		case "core/upward":
+			haveUpward = true
 		case "core/potentials":
 			haveEval = true
 			if len(s.Children) == 0 {
@@ -83,8 +86,8 @@ func TestObsMetricsMatchStats(t *testing.T) {
 			}
 		}
 	}
-	if !haveBuild || !haveEval {
-		t.Fatalf("missing phase spans: build=%v eval=%v", haveBuild, haveEval)
+	if !haveBuild || !haveUpward || !haveEval {
+		t.Fatalf("missing phase spans: build=%v upward=%v eval=%v", haveBuild, haveUpward, haveEval)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"treecode/internal/bounds"
 	"treecode/internal/core"
+	"treecode/internal/harmonics"
 	"treecode/internal/multipole"
 	"treecode/internal/obs"
 	"treecode/internal/points"
@@ -56,7 +57,7 @@ type Config struct {
 	// GOMAXPROCS. Results are identical for any worker count.
 	Workers int
 	// Obs attaches an observability collector recording phase spans for
-	// the build (tree, degrees, upward) and evaluation (traverse, M2L,
+	// the build (tree, degrees), upward, and evaluation (traverse, M2L,
 	// P2P, downward) passes. Nil disables recording. The collector also
 	// receives Theorem 3 degree-clamp counts for the adaptive method.
 	Obs *obs.Collector
@@ -117,6 +118,7 @@ type Evaluator struct {
 	Tree *tree.Tree
 
 	upDegree map[*tree.Node]int
+	maxP     int // largest carried degree (upward scratch sizing)
 	buildT   time.Duration
 }
 
@@ -139,7 +141,7 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 	start := time.Now()
 	bsp := cfg.Obs.Start("fmm/build")
 	sp := bsp.Child("tree")
-	tr, err := tree.Build(set, tree.Config{LeafCap: cfg.LeafCap})
+	tr, err := tree.Build(set, tree.Config{LeafCap: cfg.LeafCap, Workers: cfg.Workers})
 	sp.End()
 	if err != nil {
 		bsp.End()
@@ -153,10 +155,15 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 	sp = bsp.Child("degrees")
 	e.selectDegrees()
 	sp.End()
-	sp = bsp.Child("upward")
-	e.upward()
-	sp.End()
 	bsp.End()
+	for _, d := range e.upDegree {
+		if d > e.maxP {
+			e.maxP = d
+		}
+	}
+	usp := cfg.Obs.Start("fmm/upward")
+	e.upward()
+	usp.End()
 	e.buildT = time.Since(start)
 	return e, nil
 }
@@ -191,24 +198,59 @@ func (e *Evaluator) selectDegrees() {
 	down(e.Tree.Root, 0)
 }
 
+// upward runs the P2M/M2M pass level-synchronized on the work-stealing
+// pool, with one spherical-harmonics scratch buffer per worker. Per-node
+// arithmetic has a fixed operand order, so the expansions are bitwise
+// identical at any worker count.
 func (e *Evaluator) upward() {
 	t := e.Tree
-	t.WalkPost(func(n *tree.Node) {
-		p := e.upDegree[n]
-		n.Mp = multipole.NewExpansion(n.Center, p)
-		if n.IsLeaf() {
-			for i := n.Start; i < n.End; i++ {
-				n.Mp.AddParticle(t.Pos[i], t.Q[i])
+	tree.LevelSyncUp(t, e.Cfg.Workers,
+		func() []complex128 { return make([]complex128, harmonics.Len(e.maxP)) },
+		func(n *tree.Node, buf []complex128) {
+			p := e.upDegree[n]
+			if n.Mp == nil || n.Mp.Degree != p {
+				n.Mp = multipole.NewExpansion(n.Center, p)
+			} else {
+				n.Mp.Clear()
 			}
-			return
-		}
-		for _, c := range n.Children {
-			n.Mp.AccumulateTranslated(c.Mp)
-		}
-		if n.Radius < n.Mp.Radius {
-			n.Mp.Radius = n.Radius
-		}
-	})
+			if n.IsLeaf() {
+				for i := n.Start; i < n.End; i++ {
+					n.Mp.AddParticleAt(t.Pos[i], t.Q[i], buf[:harmonics.Len(p)])
+				}
+				return
+			}
+			for _, c := range n.Children {
+				n.Mp.AccumulateTranslatedBuf(c.Mp, buf[:harmonics.Len(p)])
+			}
+			if n.Radius < n.Mp.Radius {
+				n.Mp.Radius = n.Radius
+			}
+		})
+}
+
+// SetCharges replaces the particle charges (given in the original order
+// used to build the evaluator) and reruns the upward pass — node charge
+// statistics refresh bottom-up from children and expansion storage is
+// reused, so the per-call cost is O(nodes + n) plus the upward pass. The
+// tree geometry and degree selection are kept, as for the treecode's
+// recharge path. It must not run concurrently with Potentials.
+func (e *Evaluator) SetCharges(q []float64) error {
+	t := e.Tree
+	if len(q) != len(t.Q) {
+		return fmt.Errorf("fmm: %d charges for %d particles", len(q), len(t.Q))
+	}
+	sp := e.Cfg.Obs.Start("fmm/recharge")
+	defer sp.End()
+	for i, orig := range t.Perm {
+		t.Q[i] = q[orig]
+	}
+	c := sp.Child("stats")
+	t.RefreshChargeStats(e.Cfg.Workers)
+	c.End()
+	c = sp.Child("upward")
+	e.upward()
+	c.End()
+	return nil
 }
 
 // Potentials evaluates the potential at every particle (self-excluded), in

@@ -218,3 +218,49 @@ func BenchmarkFMM10k(b *testing.B) {
 		e.Potentials()
 	}
 }
+
+// TestFMMSetCharges exercises the recharge path: an identity recharge must
+// reproduce the potentials bitwise, and doubling every charge must double
+// every potential exactly (all the pipeline's operations are linear and
+// scaling by a power of two is exact in binary floating point), proving
+// the refreshed statistics and reused expansions carry the new charges
+// correctly without rebuilding the tree.
+func TestFMMSetCharges(t *testing.T) {
+	set, err := points.GenerateCharged(points.Gaussian, 2500, 31, 2500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(set, Config{Method: core.Adaptive, Degree: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := e.Potentials()
+	q := make([]float64, set.N())
+	for i, p := range set.Particles {
+		q[i] = p.Charge
+	}
+	if err := e.SetCharges(q); err != nil {
+		t.Fatal(err)
+	}
+	same, _ := e.Potentials()
+	for i := range same {
+		if same[i] != base[i] { //lint:ignore floatcmp identity recharge must not perturb a single bit
+			t.Fatalf("identity recharge changed phi[%d]: %v -> %v", i, base[i], same[i])
+		}
+	}
+	for i := range q {
+		q[i] *= 2
+	}
+	if err := e.SetCharges(q); err != nil {
+		t.Fatal(err)
+	}
+	doubled, _ := e.Potentials()
+	for i := range doubled {
+		if doubled[i] != 2*base[i] { //lint:ignore floatcmp power-of-two scaling is exact, so linearity must hold bitwise
+			t.Fatalf("doubling charges: phi[%d] = %v, want %v", i, doubled[i], 2*base[i])
+		}
+	}
+	if err := e.SetCharges(q[:5]); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}

@@ -109,8 +109,15 @@ func (e *Expansion) Translate(newCenter vec.V3, pOut int) *Expansion {
 // e keeps as long as src.Degree >= e.Degree. Cluster statistics are merged:
 // charges add, and the radius becomes an upper bound covering both clusters.
 func (e *Expansion) AccumulateTranslated(src *Expansion) {
+	e.AccumulateTranslatedBuf(src, nil)
+}
+
+// AccumulateTranslatedBuf is AccumulateTranslated with a caller-provided
+// scratch buffer of length >= harmonics.Len(e.Degree) (nil allocates).
+// Useful in upward passes that translate many children per scratch.
+func (e *Expansion) AccumulateTranslatedBuf(src *Expansion, buf []complex128) {
 	t := src.Center.Sub(e.Center)
-	rt := harmonics.Regular(nil, t, e.Degree)
+	rt := harmonics.Regular(buf, t, e.Degree)
 	for n := 0; n <= e.Degree; n++ {
 		for m := 0; m <= n; m++ {
 			var sum complex128

@@ -7,8 +7,8 @@ import (
 )
 
 // Span is one timed phase of a run. Spans nest: a build span has tree /
-// degrees / expansions children, an evaluation span has one child per
-// worker. Spans are created through Collector.Start and Span.Child and
+// degrees children, a recharge span has stats / upward children, an
+// evaluation span has one child per worker. Spans are created through Collector.Start and Span.Child and
 // closed with End; all mutations go through the collector's mutex, which
 // is fine because spans are coarse (a handful per evaluation, never one
 // per interaction).
@@ -126,7 +126,7 @@ func (s *Span) snapshot(epoch, now time.Time) SpanData {
 //	core/build                 12.4ms
 //	  tree                      8.1ms
 //	  degrees                   0.3ms
-//	  expansions                3.9ms
+//	core/upward                 3.9ms
 //
 // Nil-safe: a nil collector renders an empty string.
 func (c *Collector) RenderSpans() string {

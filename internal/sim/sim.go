@@ -39,6 +39,13 @@ type Simulator struct {
 	State State
 
 	Steps int
+
+	// acc caches the closing-kick acceleration of the previous Step. The
+	// opening kick of step k+1 needs the acceleration at exactly the
+	// positions the closing kick of step k used (nothing moves between
+	// them), so reusing it halves the force evaluations per step without
+	// changing a single bit of the trajectory.
+	acc []vec.V3
 }
 
 // New validates and wraps the initial state.
@@ -113,11 +120,18 @@ func (s *Simulator) softenedAccel() ([]vec.V3, *core.Stats, error) {
 	return acc, &st, nil
 }
 
-// Step advances one kick-drift-kick timestep.
+// Step advances one kick-drift-kick timestep. The opening kick reuses the
+// previous step's closing acceleration when available (one force
+// evaluation per step instead of two); call InvalidateForces after
+// mutating positions or masses outside Step.
 func (s *Simulator) Step() error {
-	acc, _, err := s.Accelerations()
-	if err != nil {
-		return err
+	acc := s.acc
+	if acc == nil {
+		a, _, err := s.Accelerations()
+		if err != nil {
+			return err
+		}
+		acc = a
 	}
 	dt := s.Cfg.Dt
 	st := s.State
@@ -125,6 +139,7 @@ func (s *Simulator) Step() error {
 		st.Vel[i] = st.Vel[i].Add(acc[i].Scale(dt / 2))
 		st.Set.Particles[i].Pos = st.Set.Particles[i].Pos.Add(st.Vel[i].Scale(dt))
 	}
+	s.acc = nil // positions moved: the cache is stale until the closing kick
 	acc2, _, err := s.Accelerations()
 	if err != nil {
 		return err
@@ -132,9 +147,15 @@ func (s *Simulator) Step() error {
 	for i := range st.Vel {
 		st.Vel[i] = st.Vel[i].Add(acc2[i].Scale(dt / 2))
 	}
+	s.acc = acc2
 	s.Steps++
 	return nil
 }
+
+// InvalidateForces drops the cached trailing acceleration. Call it after
+// mutating State (positions, masses, particle count) by hand so the next
+// Step recomputes its opening kick instead of reusing stale forces.
+func (s *Simulator) InvalidateForces() { s.acc = nil }
 
 // Run advances k steps.
 func (s *Simulator) Run(k int) error {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"treecode/internal/core"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/vec"
 )
@@ -134,5 +135,90 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(State{Set: &points.Set{}, Vel: nil}, Config{Dt: 0.1}); err == nil {
 		t.Error("empty system should fail")
+	}
+}
+
+// cloneState deep-copies a State so two simulators can advance from
+// identical initial conditions.
+func cloneState(st State) State {
+	ps := make([]points.Particle, len(st.Set.Particles))
+	copy(ps, st.Set.Particles)
+	vel := make([]vec.V3, len(st.Vel))
+	copy(vel, st.Vel)
+	return State{Set: &points.Set{Particles: ps}, Vel: vel}
+}
+
+// gaussianState builds a small random cloud with zero initial velocities.
+func gaussianState(t *testing.T, n int) State {
+	t.Helper()
+	set, err := points.Generate(points.Gaussian, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return State{Set: set, Vel: make([]vec.V3, set.N())}
+}
+
+// TestStepAccelerationReuseBitwise pins the KDK optimization: reusing the
+// closing-kick acceleration of step k as the opening kick of step k+1 must
+// leave multi-step trajectories bitwise unchanged, because the positions
+// are identical at both kicks and Accelerations is a pure function of the
+// positions. The reference simulator invalidates the cache before every
+// step, which forces the historical evaluate-twice behavior.
+func TestStepAccelerationReuseBitwise(t *testing.T) {
+	for _, soften := range []float64{0, 0.05} {
+		st := gaussianState(t, 300)
+		cfg := Config{Dt: 0.01, Force: core.Config{Degree: 4}, Soften: soften}
+		cached, err := New(cloneState(st), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(cloneState(st), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 5; step++ {
+			if err := cached.Step(); err != nil {
+				t.Fatal(err)
+			}
+			fresh.InvalidateForces()
+			if err := fresh.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range st.Set.Particles {
+			cp := cached.State.Set.Particles[i].Pos
+			fp := fresh.State.Set.Particles[i].Pos
+			if cp != fp { //lint:ignore floatcmp the reuse must be bitwise exact; any drift means the cache returned forces for the wrong positions
+				t.Fatalf("soften=%v: position %d diverged: cached %v fresh %v", soften, i, cp, fp)
+			}
+			if cached.State.Vel[i] != fresh.State.Vel[i] { //lint:ignore floatcmp same: trajectories must match bitwise
+				t.Fatalf("soften=%v: velocity %d diverged", soften, i)
+			}
+		}
+	}
+}
+
+// TestStepForceEvaluationCount verifies the cache halves the per-step
+// force evaluations: k steps cost k+1 tree builds (2 for the first step,
+// 1 for each subsequent one) instead of 2k.
+func TestStepForceEvaluationCount(t *testing.T) {
+	col := obs.New()
+	st := gaussianState(t, 200)
+	s, err := New(st, Config{Dt: 0.01, Force: core.Config{Degree: 3, Obs: col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	if err := s.Run(k); err != nil {
+		t.Fatal(err)
+	}
+	builds := 0
+	for _, sp := range col.Spans() {
+		if sp.Name == "core/build" {
+			builds++
+		}
+	}
+	if builds != k+1 {
+		t.Fatalf("%d steps cost %d tree builds, want %d (trailing acceleration not reused?)", k, builds, k+1)
 	}
 }

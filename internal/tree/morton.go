@@ -3,8 +3,8 @@ package tree
 import (
 	"sort"
 
-	"treecode/internal/geom"
 	"treecode/internal/points"
+	"treecode/internal/sched"
 	"treecode/internal/sfc"
 	"treecode/internal/vec"
 )
@@ -18,43 +18,39 @@ import (
 // The resulting decomposition is identical to Build's recursive octant
 // partition (same cubes, same leaf contents, up to floating-point boundary
 // rounding), but depth is capped at the key resolution (sfc.Bits levels).
+// Key computation, the sort, and subtree construction all run on the
+// work-stealing pool; since there is no partition scan here, internal-node
+// charge moments are derived from their children (fixed child order)
+// rather than rescanned. The sort order is made unique by breaking key
+// ties on the original index, so the result is bitwise identical at any
+// worker count.
 func BuildMorton(set *points.Set, cfg Config) (*Tree, error) {
-	if set == nil || set.N() == 0 {
-		return nil, errEmpty()
-	}
-	if cfg.LeafCap <= 0 {
-		cfg.LeafCap = 8
+	t, rootBox, err := newTree(set, &cfg)
+	if err != nil {
+		return nil, err
 	}
 	n := set.N()
-	t := &Tree{
-		Pos:     make([]vec.V3, n),
-		Q:       make([]float64, n),
-		Perm:    make([]int, n),
-		LeafCap: cfg.LeafCap,
-	}
-	for i, p := range set.Particles {
-		t.Pos[i] = p.Pos
-		t.Q[i] = p.Charge
-		t.Perm[i] = i
-	}
-	rootBox := geom.Bound(t.Pos).Cube().Inflate(1 + 1e-9)
-	if rootBox.MaxDim() == 0 {
-		c := rootBox.Center()
-		d := vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
-		rootBox = geom.AABB{Lo: c.Sub(d), Hi: c.Add(d)}
-	}
+	workers := cfg.workers()
 
-	// Sort everything by Morton key over the root cube.
+	// Morton keys over the root cube; each key is independent, so chunks
+	// of the range compute in parallel.
 	keys := make([]uint64, n)
-	for i, p := range t.Pos {
-		x, y, z := sfc.Discretize(p, rootBox)
-		keys[i] = sfc.MortonKey(x, y, z)
-	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	const chunk = 4096
+	nchunks := (n + chunk - 1) / chunk
+	sched.Run(nchunks, workers, func(_ int, next func() (int, bool)) {
+		for c, ok := next(); ok; c, ok = next() {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				x, y, z := sfc.Discretize(t.Pos[i], rootBox)
+				keys[i] = sfc.MortonKey(x, y, z)
+			}
+		}
+	})
+
+	order := sortedOrder(keys, workers)
 	pos := make([]vec.V3, n)
 	q := make([]float64, n)
 	perm := make([]int, n)
@@ -64,41 +60,221 @@ func BuildMorton(set *points.Set, cfg Config) (*Tree, error) {
 	}
 	t.Pos, t.Q, t.Perm = pos, q, perm
 
-	t.Root = t.buildMorton(sorted, rootBox, 0, n, 0)
+	root := &Node{Box: rootBox, Start: 0, End: n}
+	b := mortonBuilder{t: t, keys: sorted}
+	b.run(root, workers)
+	t.Root = root
+	t.NNodes, t.NLeaves, t.Height = b.nnodes, b.nleaves, b.height
+	t.initLevels()
 	return t, nil
 }
 
-func errEmpty() error {
-	// Shared message with Build.
-	_, err := Build(nil, Config{})
-	return err
+// sortedOrder returns the particle indices sorted by (key, index). The
+// index tie-break makes the comparator a total order with no equal
+// elements, so every sorting algorithm — serial sort.Slice or the chunked
+// parallel merge sort below — produces the same permutation.
+func sortedOrder(keys []uint64, workers int) []int {
+	n := len(keys)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	less := func(a, b int) bool {
+		if keys[a] != keys[b] {
+			return keys[a] < keys[b]
+		}
+		return a < b
+	}
+	const serialBelow = 1 << 13
+	if workers <= 1 || n < serialBelow {
+		sort.Slice(order, func(i, j int) bool { return less(order[i], order[j]) })
+		return order
+	}
+	// Chunked parallel merge sort: sort ~2 runs per worker independently,
+	// then merge adjacent run pairs in parallel rounds.
+	runs := 2 * workers
+	if runs > n {
+		runs = n
+	}
+	bounds := make([]int, runs+1)
+	for i := 0; i <= runs; i++ {
+		bounds[i] = i * n / runs
+	}
+	sched.Run(runs, workers, func(_ int, next func() (int, bool)) {
+		for r, ok := next(); ok; r, ok = next() {
+			s := order[bounds[r]:bounds[r+1]]
+			sort.Slice(s, func(a, b int) bool { return less(s[a], s[b]) })
+		}
+	})
+	src, dst := order, make([]int, n)
+	for len(bounds) > 2 {
+		nRuns := len(bounds) - 1
+		pairs := nRuns / 2
+		sched.Run(pairs, workers, func(_ int, next func() (int, bool)) {
+			for k, ok := next(); ok; k, ok = next() {
+				lo, mid, hi := bounds[2*k], bounds[2*k+1], bounds[2*k+2]
+				mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], less)
+			}
+		})
+		if nRuns%2 == 1 {
+			lo, hi := bounds[nRuns-1], bounds[nRuns]
+			copy(dst[lo:hi], src[lo:hi])
+		}
+		nb := bounds[:1]
+		for k := 0; 2*k+2 <= nRuns; k++ {
+			nb = append(nb, bounds[2*k+2])
+		}
+		if nRuns%2 == 1 {
+			nb = append(nb, bounds[nRuns])
+		}
+		bounds = nb
+		src, dst = dst, src
+	}
+	return src
 }
 
-// buildMorton builds the subtree for the sorted key range [lo, hi).
-func (t *Tree) buildMorton(keys []uint64, box geom.AABB, lo, hi, level int) *Node {
-	n := &Node{Box: box, Level: level, Start: lo, End: hi}
-	t.NNodes++
-	if level > t.Height {
-		t.Height = level
+// mergeRuns merges two sorted runs into out (len(out) == len(a)+len(b)).
+func mergeRuns(out, a, b []int, less func(x, y int) bool) {
+	i, j := 0, 0
+	for k := range out {
+		switch {
+		case i == len(a):
+			out[k] = b[j]
+			j++
+		case j == len(b) || less(a[i], b[j]):
+			out[k] = a[i]
+			i++
+		default:
+			out[k] = b[j]
+			j++
+		}
 	}
-	t.summarize(n)
-	if hi-lo <= t.LeafCap || level >= sfc.Bits {
-		t.NLeaves++
-		return n
+}
+
+// mortonBuilder accumulates the node census of one Morton construction
+// task, mirroring builder for the recursive construction.
+type mortonBuilder struct {
+	t       *Tree
+	keys    []uint64
+	nnodes  int
+	nleaves int
+	height  int
+}
+
+func (b *mortonBuilder) countNode(level int) {
+	b.nnodes++
+	if level > b.height {
+		b.height = level
 	}
-	shift := uint(3 * (sfc.Bits - 1 - level))
-	at := lo
+}
+
+func (b *mortonBuilder) mergeFrom(o *mortonBuilder) {
+	b.nnodes += o.nnodes
+	b.nleaves += o.nleaves
+	if o.height > b.height {
+		b.height = o.height
+	}
+}
+
+func (b *mortonBuilder) splittable(n *Node) bool {
+	return n.Count() > b.t.LeafCap && n.Level < sfc.Bits
+}
+
+// run builds the subtree under root: with multiple workers the top levels
+// split serially (binary searches on the sorted keys, no data movement)
+// until ≥ ~8 tasks per worker exist, the pending subtrees build in
+// parallel, and finally the held-back top nodes take their moments from
+// their now-complete children in reverse BFS order (children first).
+func (b *mortonBuilder) run(root *Node, workers int) {
+	if workers <= 1 {
+		b.grow(root)
+		return
+	}
+	target := 8 * workers
+	momOf := make(map[*Node]moments)
+	var internals []*Node // phase-A internal nodes in BFS order
+	queue := []*Node{root}
+	for len(queue) > 0 && len(queue) < target {
+		n := queue[0]
+		queue = queue[1:]
+		if !b.splittable(n) {
+			momOf[n] = b.finishLeaf(n)
+			continue
+		}
+		b.countNode(n.Level)
+		b.split(n)
+		internals = append(internals, n)
+		queue = append(queue, n.Children...)
+	}
+	tasks := queue
+	subs := make([]mortonBuilder, len(tasks))
+	taskMom := make([]moments, len(tasks))
+	sched.Run(len(tasks), workers, func(_ int, next func() (int, bool)) {
+		for i, ok := next(); ok; i, ok = next() {
+			subs[i] = mortonBuilder{t: b.t, keys: b.keys}
+			taskMom[i] = subs[i].grow(tasks[i])
+		}
+	})
+	for i := range subs {
+		b.mergeFrom(&subs[i])
+		momOf[tasks[i]] = taskMom[i]
+	}
+	// Reverse BFS order visits children before parents, so every child's
+	// moments are on hand when its parent folds them in.
+	for i := len(internals) - 1; i >= 0; i-- {
+		n := internals[i]
+		var m moments
+		for _, c := range n.Children {
+			m.merge(momOf[c])
+		}
+		applyMoments(n, &m)
+		b.t.radiiScan(n)
+		momOf[n] = m
+	}
+}
+
+// grow recursively builds the subtree at n and returns its charge moments
+// (internal nodes merge their children's moments in fixed child order —
+// the same derivation the parallel path uses, so the phase split never
+// changes the bits).
+func (b *mortonBuilder) grow(n *Node) moments {
+	if !b.splittable(n) {
+		return b.finishLeaf(n)
+	}
+	b.countNode(n.Level)
+	b.split(n)
+	var m moments
+	for _, c := range n.Children {
+		m.merge(b.grow(c))
+	}
+	applyMoments(n, &m)
+	b.t.radiiScan(n)
+	return m
+}
+
+// finishLeaf finalizes a leaf: one scan yields its moments, one its radii.
+func (b *mortonBuilder) finishLeaf(n *Node) moments {
+	b.countNode(n.Level)
+	b.nleaves++
+	m := b.t.scanMoments(n.Start, n.End)
+	applyMoments(n, &m)
+	b.t.radiiScan(n)
+	return m
+}
+
+// split partitions n's key range into octant runs by binary search on the
+// key bits at n's level.
+func (b *mortonBuilder) split(n *Node) {
+	shift := uint(3 * (sfc.Bits - 1 - n.Level))
+	at := n.Start
 	for oct := 0; oct < 8; oct++ {
-		// Find the end of this octant's run by binary search on the key
-		// bits at this level.
-		end := at + sort.Search(hi-at, func(i int) bool {
-			return int(keys[at+i]>>shift&7) > oct
+		end := at + sort.Search(n.End-at, func(i int) bool {
+			return int(b.keys[at+i]>>shift&7) > oct
 		})
 		if end > at {
 			n.Children = append(n.Children,
-				t.buildMorton(keys, box.Octant(oct), at, end, level+1))
+				&Node{Box: n.Box.Octant(oct), Level: n.Level + 1, Start: at, End: end})
 			at = end
 		}
 	}
-	return n
 }

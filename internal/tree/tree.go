@@ -4,16 +4,29 @@
 // center, cluster radius a, box size, level — and a slot for the node's
 // multipole expansion, whose degree the evaluator chooses (fixed for the
 // original method, per-node for the improved method).
+//
+// Construction is a fused, parallel pipeline: every node's charge moments
+// arrive from its parent's partition scan (the root pays one extra pass),
+// so each particle range is read exactly once per level — the octant
+// counting, the per-child charge-moment accumulation, and the node's own
+// radius maxima all ride the same scan. The top of the tree is split
+// serially into disjoint subtree ranges which then build as independent
+// tasks on the work-stealing pool (internal/sched); per-task node censuses
+// merge at the end. Every per-node quantity is a function of the node's
+// own range in a fixed order, so the result is bitwise identical at any
+// worker count.
 package tree
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"treecode/internal/geom"
 	"treecode/internal/multipole"
 	"treecode/internal/points"
+	"treecode/internal/sched"
 	"treecode/internal/vec"
 )
 
@@ -67,6 +80,8 @@ type Tree struct {
 	Height  int // deepest level
 	NNodes  int
 	NLeaves int
+
+	levels [][]*Node // nodes grouped by level, Start-ascending within each
 }
 
 // Config controls tree construction.
@@ -75,12 +90,73 @@ type Config struct {
 	// leaves of 32-64 particles are used in practice for cache performance;
 	// smaller values give deeper trees. Default 8.
 	LeafCap int
+	// Workers is the number of goroutines building subtrees (and, for the
+	// Morton construction, sorting keys); 0 means GOMAXPROCS. The built
+	// tree — decomposition, permutation, and every cluster statistic — is
+	// bitwise identical at any worker count.
+	Workers int
 }
 
-// Build constructs the octree for the particle set.
-func Build(set *points.Set, cfg Config) (*Tree, error) {
+func (c *Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// moments accumulates the charge moments of one particle scan: net and
+// absolute charge, the |q|-weighted position sum (expansion center
+// numerator) and the unweighted position sum (centroid numerator).
+type moments struct {
+	q, absQ float64
+	wc, gc  vec.V3
+}
+
+// add folds one particle in. The operation order matches the historical
+// serial summarize loop so leaf statistics keep their exact bits.
+func (m *moments) add(p vec.V3, q float64) {
+	a := q
+	m.q += q
+	if a < 0 {
+		a = -a
+	}
+	m.absQ += a
+	m.wc = m.wc.Add(p.Scale(a))
+	m.gc = m.gc.Add(p)
+}
+
+// merge folds a child scan into a parent accumulator (fixed child order
+// keeps the bits schedule-invariant).
+func (m *moments) merge(c moments) {
+	m.q += c.q
+	m.absQ += c.absQ
+	m.wc = m.wc.Add(c.wc)
+	m.gc = m.gc.Add(c.gc)
+}
+
+// applyMoments derives the node's charge statistics and centers from an
+// accumulated scan of its range.
+func applyMoments(n *Node, m *moments) {
+	n.Charge = m.q
+	n.AbsCharge = m.absQ
+	if m.absQ > 0 {
+		n.Center = m.wc.Scale(1 / m.absQ)
+	} else {
+		// Zero net absolute charge (massless cluster): geometric center.
+		n.Center = n.Box.Center()
+	}
+	if cnt := n.Count(); cnt > 0 {
+		n.Centroid = m.gc.Scale(1 / float64(cnt))
+	} else {
+		n.Centroid = n.Box.Center()
+	}
+}
+
+// newTree allocates the permuted particle arrays and the root cube shared
+// by both constructions.
+func newTree(set *points.Set, cfg *Config) (*Tree, geom.AABB, error) {
 	if set == nil || set.N() == 0 {
-		return nil, fmt.Errorf("tree: empty particle set")
+		return nil, geom.AABB{}, fmt.Errorf("tree: empty particle set")
 	}
 	if cfg.LeafCap <= 0 {
 		cfg.LeafCap = 8
@@ -104,29 +180,149 @@ func Build(set *points.Set, cfg Config) (*Tree, error) {
 		d := vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
 		rootBox = geom.AABB{Lo: c.Sub(d), Hi: c.Add(d)}
 	}
-	t.Root = t.build(rootBox, 0, n, 0)
+	return t, rootBox, nil
+}
+
+// Build constructs the octree for the particle set.
+func Build(set *points.Set, cfg Config) (*Tree, error) {
+	t, rootBox, err := newTree(set, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := set.N()
+	// The root is the only node without a parent scan to inherit moments
+	// from: one extra pass over all particles.
+	var rm moments
+	for i := range t.Pos {
+		rm.add(t.Pos[i], t.Q[i])
+	}
+	root := &Node{Box: rootBox, Start: 0, End: n}
+	applyMoments(root, &rm)
+	b := builder{t: t}
+	b.run(root, cfg.workers())
+	t.Root = root
+	t.NNodes, t.NLeaves, t.Height = b.nnodes, b.nleaves, b.height
+	t.initLevels()
 	return t, nil
 }
 
-// build recursively constructs the subtree for particle range [lo, hi).
-func (t *Tree) build(box geom.AABB, lo, hi, level int) *Node {
-	n := &Node{Box: box, Level: level, Start: lo, End: hi}
-	t.NNodes++
-	if level > t.Height {
-		t.Height = level
+// builder accumulates the node census of one construction task. Parallel
+// builds run one builder per subtree task and merge; the merged totals are
+// independent of how the work was split.
+type builder struct {
+	t       *Tree
+	nnodes  int
+	nleaves int
+	height  int
+}
+
+func (b *builder) countNode(level int) {
+	b.nnodes++
+	if level > b.height {
+		b.height = level
 	}
-	t.summarize(n)
-	if hi-lo <= t.LeafCap || level >= MaxDepth {
-		t.NLeaves++
-		return n
+}
+
+func (b *builder) mergeFrom(o *builder) {
+	b.nnodes += o.nnodes
+	b.nleaves += o.nleaves
+	if o.height > b.height {
+		b.height = o.height
 	}
-	// Partition the range into the 8 octants (in-place bucket sort).
+}
+
+// splittable reports whether the node must be partitioned further.
+func (b *builder) splittable(n *Node) bool {
+	return n.Count() > b.t.LeafCap && n.Level < MaxDepth
+}
+
+// run builds the subtree under root. With more than one worker the top of
+// the tree is partitioned serially until at least ~8 tasks per worker
+// exist, then the pending subtrees build independently on the pool: their
+// particle ranges are disjoint (the in-place octant bucket sort partitions
+// [Start, End) exactly), so tasks share no mutable state.
+func (b *builder) run(root *Node, workers int) {
+	if workers <= 1 {
+		b.grow(root)
+		return
+	}
+	target := 8 * workers
+	queue := []*Node{root}
+	for len(queue) > 0 && len(queue) < target {
+		n := queue[0]
+		queue = queue[1:]
+		if !b.splittable(n) {
+			b.finishLeaf(n)
+			continue
+		}
+		b.countNode(n.Level)
+		n.Children = b.t.partitionFused(n)
+		queue = append(queue, n.Children...)
+	}
+	tasks := queue
+	subs := make([]builder, len(tasks))
+	sched.Run(len(tasks), workers, func(_ int, next func() (int, bool)) {
+		for i, ok := next(); ok; i, ok = next() {
+			subs[i] = builder{t: b.t}
+			subs[i].grow(tasks[i])
+		}
+	})
+	for i := range subs {
+		b.mergeFrom(&subs[i])
+	}
+}
+
+// grow recursively builds the subtree at n (whose moments are already
+// applied by the parent's scan).
+func (b *builder) grow(n *Node) {
+	if !b.splittable(n) {
+		b.finishLeaf(n)
+		return
+	}
+	b.countNode(n.Level)
+	n.Children = b.t.partitionFused(n)
+	for _, c := range n.Children {
+		b.grow(c)
+	}
+}
+
+// finishLeaf closes out a node that stays a leaf: only the radius maxima
+// remain to compute (its charge statistics came from the parent's scan).
+func (b *builder) finishLeaf(n *Node) {
+	b.countNode(n.Level)
+	b.nleaves++
+	b.t.radiiScan(n)
+}
+
+// partitionFused performs the single fused scan of an internal node's
+// range — octant counts, per-octant charge moments, and the node's own
+// radius maxima (its Center/Centroid are already known from the parent's
+// scan) — then permutes the range into octant order in place and returns
+// the children with their statistics applied. Each child therefore never
+// rescans its range for sums; only its radii (which need its own Center
+// first) cost it a scan, fused into ITS partition scan or leaf
+// finalization.
+func (t *Tree) partitionFused(n *Node) []*Node {
+	box := n.Box
 	var counts [8]int
-	for i := lo; i < hi; i++ {
-		counts[box.OctantIndex(t.Pos[i])]++
+	var om [8]moments
+	var r2, b2 float64
+	for i := n.Start; i < n.End; i++ {
+		p := t.Pos[i]
+		o := box.OctantIndex(p)
+		counts[o]++
+		om[o].add(p, t.Q[i])
+		if d := p.Dist2(n.Center); d > r2 {
+			r2 = d
+		}
+		if d := p.Dist2(n.Centroid); d > b2 {
+			b2 = d
+		}
 	}
+	n.Radius = math.Sqrt(r2)
+	n.BRadius = math.Sqrt(b2)
 	var starts, next [8]int
-	acc := lo
+	acc := n.Start
 	for o := 0; o < 8; o++ {
 		starts[o] = acc
 		next[o] = acc
@@ -148,43 +344,21 @@ func (t *Tree) build(box geom.AABB, lo, hi, level int) *Node {
 			next[dst] = j + 1
 		}
 	}
+	children := make([]*Node, 0, 8)
 	for o := 0; o < 8; o++ {
 		if counts[o] == 0 {
 			continue
 		}
-		child := t.build(box.Octant(o), starts[o], starts[o]+counts[o], level+1)
-		n.Children = append(n.Children, child)
+		c := &Node{Box: box.Octant(o), Level: n.Level + 1, Start: starts[o], End: starts[o] + counts[o]}
+		applyMoments(c, &om[o])
+		children = append(children, c)
 	}
-	return n
+	return children
 }
 
-// summarize computes the cluster statistics of a node.
-func (t *Tree) summarize(n *Node) {
-	var absQ, q float64
-	var wc, gc vec.V3
-	for i := n.Start; i < n.End; i++ {
-		a := t.Q[i]
-		q += a
-		if a < 0 {
-			a = -a
-		}
-		absQ += a
-		wc = wc.Add(t.Pos[i].Scale(a))
-		gc = gc.Add(t.Pos[i])
-	}
-	n.Charge = q
-	n.AbsCharge = absQ
-	if absQ > 0 {
-		n.Center = wc.Scale(1 / absQ)
-	} else {
-		// Zero net absolute charge (massless cluster): geometric center.
-		n.Center = n.Box.Center()
-	}
-	if cnt := n.Count(); cnt > 0 {
-		n.Centroid = gc.Scale(1 / float64(cnt))
-	} else {
-		n.Centroid = n.Box.Center()
-	}
+// radiiScan computes the node's two radius maxima against its (already
+// known) expansion center and centroid.
+func (t *Tree) radiiScan(n *Node) {
 	var r2, b2 float64
 	for i := n.Start; i < n.End; i++ {
 		if d := t.Pos[i].Dist2(n.Center); d > r2 {
@@ -196,6 +370,17 @@ func (t *Tree) summarize(n *Node) {
 	}
 	n.Radius = math.Sqrt(r2)
 	n.BRadius = math.Sqrt(b2)
+}
+
+// scanMoments accumulates the charge moments of range [lo, hi) in tree
+// order — the leaf-side statistic source for constructions without a
+// parent partition scan (Morton build, recharge).
+func (t *Tree) scanMoments(lo, hi int) moments {
+	var m moments
+	for i := lo; i < hi; i++ {
+		m.add(t.Pos[i], t.Q[i])
+	}
+	return m
 }
 
 // Walk visits every node in pre-order.
