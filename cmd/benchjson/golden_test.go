@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckedInBenchDocument validates the repo-root BENCH_treecode.json
+// against the current schema: the document must parse into doc without
+// unknown-field drift, carry the v3 schema tag, and its steps section must
+// show the persistent engine earning its keep — the 100k cell refits
+// without falling back, spends less tree-construction time than the
+// rebuild-every policy, and stays within its Theorem 2 budget. Parse-only
+// (no benchmarks re-run), so it is safe in the tier-1 suite.
+func TestCheckedInBenchDocument(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_treecode.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d doc
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		t.Fatalf("BENCH_treecode.json does not match the doc schema: %v", err)
+	}
+	if d.Schema != "treecode-bench/v3" {
+		t.Fatalf("schema = %q, want treecode-bench/v3", d.Schema)
+	}
+	if len(d.Results) == 0 || len(d.Pairs) == 0 || len(d.Builds) == 0 {
+		t.Fatalf("document incomplete: %d results, %d pairs, %d builds",
+			len(d.Results), len(d.Pairs), len(d.Builds))
+	}
+	if len(d.Steps) == 0 || len(d.StepPairs) == 0 {
+		t.Fatal("steps section missing; regenerate with cmd/benchjson default flags")
+	}
+
+	var saw100k bool
+	for _, s := range d.Steps {
+		if s.ConstructMS < 0 || s.MomentsMS < 0 || s.TotalMS <= 0 {
+			t.Errorf("steps[%s n=%d w=%d]: non-positive timings %+v", s.Policy, s.N, s.Workers, s)
+		}
+		switch s.Policy {
+		case "every":
+			if s.Refits != 0 || s.Builds != s.Steps+1 {
+				t.Errorf("every[n=%d w=%d]: %d builds, %d refits; want %d builds and no refits",
+					s.N, s.Workers, s.Builds, s.Refits, s.Steps+1)
+			}
+		case "auto":
+			if s.N == 100000 {
+				saw100k = true
+				if s.Refits != int64(s.Steps) || s.Rebuilds != 0 {
+					t.Errorf("auto[n=%d w=%d]: %d refits, %d rebuilds over %d steps; want every update to refit",
+						s.N, s.Workers, s.Refits, s.Rebuilds, s.Steps)
+				}
+			}
+			if s.RadiusInflationMax != 0 && s.RadiusInflationMax < 1 {
+				t.Errorf("auto[n=%d w=%d]: radius inflation %v below 1", s.N, s.Workers, s.RadiusInflationMax)
+			}
+		default:
+			t.Errorf("unknown policy %q", s.Policy)
+		}
+	}
+	if !saw100k {
+		t.Error("no auto steps entry at n=100000; the acceptance-scale cell is missing")
+	}
+
+	for _, p := range d.StepPairs {
+		if p.N == 100000 && p.ConstructSpeedup <= 1 {
+			t.Errorf("step pair n=%d w=%d: construct speedup %v; the persistent engine must beat rebuild-every",
+				p.N, p.Workers, p.ConstructSpeedup)
+		}
+		if p.RefitPhiDrift > p.RefitPhiBound {
+			t.Errorf("step pair n=%d w=%d: refit phi drift %v exceeds Theorem 2 budget %v",
+				p.N, p.Workers, p.RefitPhiDrift, p.RefitPhiBound)
+		}
+	}
+}

@@ -13,9 +13,19 @@
 // constructions, via the core/build, core/upward, and core/recharge obs
 // spans.
 //
+// A steps section benchmarks the evaluator lifecycle across leapfrog
+// timesteps: for each worker count it advances the same initial state under
+// both rebuild policies — every (a fresh construction per force evaluation)
+// and auto (one persistent engine maintained by incremental refits) — and
+// records tree-construction time separately from moment time (the upward
+// pass is identical work for both policies), refit counters, the
+// trajectory drift between the policies, and the relative gap between the
+// refit engine's potentials and a fresh build at the same final positions
+// next to its Theorem 2 budget.
+//
 // The checked-in BENCH_treecode.json is produced by the default flags; CI
-// runs the short variant (-sizes 2000,8000 -reps 1) and uploads the result
-// as an artifact.
+// runs the short variant (-sizes 2000,8000 -reps 1 plus a small steps
+// cell) and uploads the result as an artifact.
 package main
 
 import (
@@ -34,7 +44,9 @@ import (
 	"treecode/internal/direct"
 	"treecode/internal/obs"
 	"treecode/internal/points"
+	"treecode/internal/sim"
 	"treecode/internal/stats"
+	"treecode/internal/vec"
 )
 
 type result struct {
@@ -83,6 +95,55 @@ type buildResult struct {
 	TotalMS          float64 `json:"total_ms"` // tree + degrees + upward
 }
 
+// stepResult records one rebuild policy's cost over a leapfrog run: total
+// wall clock, split into the tree-construction share (sort + degree
+// selection under every; incremental maintenance under auto) and the
+// moment share (the upward pass — paid in full by both policies, since
+// every particle moves every step), plus the persistent engine's
+// maintenance counters.
+type stepResult struct {
+	Dist               string  `json:"dist"`
+	N                  int     `json:"n"`
+	Workers            int     `json:"workers"`
+	Steps              int     `json:"steps"`
+	Dt                 float64 `json:"dt"`
+	Policy             string  `json:"policy"` // auto or every
+	ConstructMS        float64 `json:"construct_ms"`
+	MomentsMS          float64 `json:"moments_ms"`
+	TotalMS            float64 `json:"total_ms"`
+	Builds             int     `json:"builds"` // core/build span count
+	Refits             int64   `json:"refits"`
+	Rebuilds           int64   `json:"rebuilds"`
+	Migrants           int64   `json:"migrants"`
+	Splits             int64   `json:"splits"`
+	Merges             int64   `json:"merges"`
+	RadiusInflationMax float64 `json:"radius_inflation_max"`
+}
+
+// stepPair compares the two policies on one (dist, n, workers) cell.
+type stepPair struct {
+	Dist    string  `json:"dist"`
+	N       int     `json:"n"`
+	Workers int     `json:"workers"`
+	Steps   int     `json:"steps"`
+	Dt      float64 `json:"dt"`
+	// ConstructSpeedup is every's tree-construction time over auto's: how
+	// much cheaper the persistent engine's incremental maintenance is than
+	// sorting a fresh octree per force evaluation. Moment computation is
+	// excluded on both sides — it is identical work for both policies.
+	ConstructSpeedup float64 `json:"construct_speedup_auto"`
+	// RefitPhiDrift is the relative 2-norm gap between the refit engine's
+	// potentials and a fresh build at the same final positions;
+	// RefitPhiBound is the corresponding Theorem 2 budget (both
+	// evaluators' bound sums over the fresh potentials' 2-norm). Drift
+	// within the budget is the refit correctness criterion.
+	RefitPhiDrift float64 `json:"refit_phi_drift"`
+	RefitPhiBound float64 `json:"refit_phi_bound"`
+	// TrajDrift is the RMS position gap between the auto and every
+	// trajectories after the run, over the RMS position magnitude.
+	TrajDrift float64 `json:"traj_drift"`
+}
+
 type doc struct {
 	Schema     string        `json:"schema"`
 	Go         string        `json:"go"`
@@ -96,6 +157,8 @@ type doc struct {
 	Results    []result      `json:"results"`
 	Pairs      []pair        `json:"pairs"`
 	Builds     []buildResult `json:"builds"`
+	Steps      []stepResult  `json:"steps,omitempty"`
+	StepPairs  []stepPair    `json:"step_pairs,omitempty"`
 }
 
 // spanMS returns the duration in ms of the first span matching path (a
@@ -111,6 +174,126 @@ func spanMS(spans []obs.SpanData, path ...string) float64 {
 		return spanMS(s.Children, path[1:]...)
 	}
 	return 0
+}
+
+// sumSpansMS sums the durations of every top-level span with the given
+// name and returns the total in ms plus the span count. Unlike spanMS it
+// covers repeated spans — a k-step run emits one core/build or core/refit
+// span per force evaluation.
+func sumSpansMS(spans []obs.SpanData, name string) (float64, int) {
+	var ms float64
+	var count int
+	for _, s := range spans {
+		if s.Name == name {
+			ms += float64(s.DurNS) / 1e6
+			count++
+		}
+	}
+	return ms, count
+}
+
+// runSteps advances one rebuild policy over a fresh copy of the seeded
+// initial state and returns its cost record plus the simulator (for the
+// cross-policy comparisons).
+func runSteps(dist string, n, workers, steps int, dt float64, seed int64, base core.Config, policy sim.RebuildPolicy) (stepResult, *sim.Simulator, error) {
+	sr := stepResult{Dist: dist, N: n, Workers: workers, Steps: steps, Dt: dt, Policy: policy.String()}
+	set, err := points.Generate(points.Distribution(dist), n, seed)
+	if err != nil {
+		return sr, nil, err
+	}
+	col := obs.New()
+	cfg := base
+	cfg.Workers = workers
+	cfg.Obs = col
+	s, err := sim.New(sim.State{Set: set, Vel: make([]vec.V3, set.N())}, sim.Config{
+		Dt: dt, Force: cfg, Rebuild: policy,
+	})
+	if err != nil {
+		return sr, nil, err
+	}
+	start := time.Now()
+	if err := s.Run(steps); err != nil {
+		return sr, nil, err
+	}
+	sr.TotalMS = float64(time.Since(start)) / float64(time.Millisecond)
+	// A fresh construction emits core/build (tree sort + degree selection)
+	// plus a top-level core/upward for the moments; a refit nests its
+	// upward child inside the core/refit span. Splitting the refit at that
+	// child keeps the two policies' construct/moments split symmetric.
+	spans := col.Spans()
+	buildMS, builds := sumSpansMS(spans, "core/build")
+	upwardMS, _ := sumSpansMS(spans, "core/upward")
+	var refitMS, refitUpMS float64
+	for _, s := range spans {
+		if s.Name != "core/refit" {
+			continue
+		}
+		refitMS += float64(s.DurNS) / 1e6
+		for _, c := range s.Children {
+			if c.Name == "upward" {
+				refitUpMS += float64(c.DurNS) / 1e6
+			}
+		}
+	}
+	sr.ConstructMS = buildMS + refitMS - refitUpMS
+	sr.MomentsMS = upwardMS + refitUpMS
+	sr.Builds = builds
+	r := col.Metrics().Refit
+	sr.Refits, sr.Rebuilds = r.Refits, r.Rebuilds
+	sr.Migrants, sr.Splits, sr.Merges = r.Migrants, r.Splits, r.Merges
+	sr.RadiusInflationMax = r.RadiusInflationMax
+	return sr, s, nil
+}
+
+// measureSteps benchmarks the evaluator lifecycle across leapfrog steps:
+// the every policy (fresh construction per force evaluation) against the
+// auto policy (persistent engine, incremental refits) from the same seeded
+// initial state, comparing construction cost, trajectories, and the refit
+// engine's accuracy at the final positions.
+func measureSteps(dist string, n, workers, steps int, dt float64, seed int64, base core.Config) ([]stepResult, stepPair, error) {
+	sp := stepPair{Dist: dist, N: n, Workers: workers, Steps: steps, Dt: dt}
+	every, sE, err := runSteps(dist, n, workers, steps, dt, seed, base, sim.RebuildEvery)
+	if err != nil {
+		return nil, sp, err
+	}
+	auto, sA, err := runSteps(dist, n, workers, steps, dt, seed, base, sim.RebuildAuto)
+	if err != nil {
+		return nil, sp, err
+	}
+	if auto.ConstructMS > 0 {
+		sp.ConstructSpeedup = every.ConstructMS / auto.ConstructMS
+	}
+
+	// RMS trajectory gap between the policies' final positions, over the
+	// RMS position magnitude.
+	var gap2, mag2 float64
+	for i := range sE.State.Set.Particles {
+		pe, pa := sE.State.Set.Particles[i].Pos, sA.State.Set.Particles[i].Pos
+		gap2 += pa.Sub(pe).Norm2()
+		mag2 += pe.Norm2()
+	}
+	if mag2 > 0 {
+		sp.TrajDrift = math.Sqrt(gap2 / mag2)
+	}
+
+	// The closing kick of the last step left the engine positioned at the
+	// final state, so its potentials can be compared directly against a
+	// fresh build there, next to the two Theorem 2 budgets.
+	if eng := sA.Engine(); eng != nil {
+		phiR, stR := eng.Potentials()
+		cfgF := base
+		cfgF.Workers = workers
+		fresh, err := core.New(sA.State.Set, cfgF)
+		if err != nil {
+			return nil, sp, err
+		}
+		phiF, stF := fresh.Potentials()
+		sp.RefitPhiDrift = stats.RelErr2(phiR, phiF)
+		if norm := stats.Norm2(phiF); norm > 0 {
+			sp.RefitPhiBound = (stR.BoundSum + stF.BoundSum) / norm
+		}
+	}
+	return []stepResult{every, auto}, sp, nil
 }
 
 // measureBuild times one construction cell (best of reps by total).
@@ -159,6 +342,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "point-set seed")
 	maxDirect := flag.Int("maxdirect", 20000, "largest n to check against direct summation")
 	buildWorkers := flag.String("buildworkers", "1,4,8", "comma-separated worker counts for the construction-phase section (empty disables)")
+	stepDist := flag.String("stepdist", "plummer", "distribution for the steps section")
+	stepN := flag.Int("stepn", 100000, "particle count for the steps section (0 disables)")
+	stepCount := flag.Int("stepcount", 10, "leapfrog steps per policy in the steps section")
+	stepDt := flag.Float64("stepdt", 1e-4, "timestep for the steps section (small enough that every update refits at the default -stepn and -stepcount)")
 	out := flag.String("o", "BENCH_treecode.json", "output file (- for stdout)")
 	flag.Parse()
 
@@ -178,7 +365,7 @@ func main() {
 	}
 
 	d := doc{
-		Schema:     "treecode-bench/v2",
+		Schema:     "treecode-bench/v3",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
@@ -273,6 +460,25 @@ func main() {
 						dist, n, w, tr, br.TotalMS, br.TreeMS, br.UpwardMS, br.RechargeMS)
 				}
 			}
+		}
+	}
+
+	if *stepN > 0 && *stepCount > 0 {
+		base := core.Config{Method: m, Alpha: *alpha, Degree: *degree}
+		for _, workers := range workerCounts {
+			srs, sp, err := measureSteps(*stepDist, *stepN, workers, *stepCount, *stepDt, *seed, base)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			d.Steps = append(d.Steps, srs...)
+			d.StepPairs = append(d.StepPairs, sp)
+			for _, sr := range srs {
+				fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d steps=%d %-5s construct %.1f ms, moments %.1f ms of %.1f ms (%d builds, %d refits)\n",
+					sr.Dist, sr.N, sr.Workers, sr.Steps, sr.Policy, sr.ConstructMS, sr.MomentsMS, sr.TotalMS, sr.Builds, sr.Refits)
+			}
+			fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d steps: construct speedup %.2fx, phi drift %.3g (budget %.3g), traj drift %.3g\n",
+				*stepDist, *stepN, workers, sp.ConstructSpeedup, sp.RefitPhiDrift, sp.RefitPhiBound, sp.TrajDrift)
 		}
 	}
 

@@ -31,6 +31,7 @@ func main() {
 	checkErr := flag.Bool("check", true, "compare against direct summation (O(n^2))")
 	steps := flag.Int("steps", 0, "leapfrog steps to advance (0 = potentials only)")
 	dt := flag.Float64("dt", 1e-3, "timestep for -steps")
+	rebuild := flag.String("rebuild", "auto", "evaluator lifecycle across steps: auto (persistent engine, incremental refits) | every (fresh build per force evaluation)")
 	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
 	obsAddr := flag.String("obsaddr", "", "serve expvar and pprof on this localhost address (e.g. 127.0.0.1:0)")
 	flag.Parse()
@@ -70,8 +71,13 @@ func main() {
 	}
 
 	if *steps > 0 {
+		policy, err := sim.ParseRebuildPolicy(*rebuild)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		s, err := sim.New(sim.State{Set: set, Vel: make([]vec.V3, set.N())}, sim.Config{
-			Dt: *dt, Force: cfg, Soften: 0.01,
+			Dt: *dt, Force: cfg, Soften: 0.01, Rebuild: policy,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -83,9 +89,16 @@ func main() {
 			os.Exit(1)
 		}
 		k1, p1, e1 := s.Energy()
-		fmt.Printf("advanced %d steps of %d-body %s system (dt=%g)\n", *steps, *n, *dist, *dt)
+		fmt.Printf("advanced %d steps of %d-body %s system (dt=%g, rebuild=%s)\n", *steps, *n, *dist, *dt, policy)
 		fmt.Printf("energy: kin %.6g -> %.6g, pot %.6g -> %.6g, total %.6g -> %.6g (drift %.3g)\n",
 			k0, k1, p0, p1, e0, e1, (e1-e0)/e0)
+		if col != nil {
+			r := col.Metrics().Refit
+			if r.Updates > 0 {
+				fmt.Printf("engine: %d updates (%d refits, %d rebuilds), %d migrants, %d splits, %d merges, max radius inflation %.3f\n",
+					r.Updates, r.Refits, r.Rebuilds, r.Migrants, r.Splits, r.Merges, r.RadiusInflationMax)
+			}
+		}
 		writeObs(col, *obsJSON)
 		return
 	}

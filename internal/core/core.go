@@ -228,6 +228,27 @@ func (s *Stats) add(o *Stats) {
 	}
 }
 
+// RebuildKind reports which maintenance path Evaluator.Update took.
+type RebuildKind int
+
+const (
+	// RebuildRefit means the existing octree was maintained in place:
+	// migrants re-bucketed locally, node statistics refreshed bottom-up
+	// with conservative radii, and expansion storage reused.
+	RebuildRefit RebuildKind = iota
+	// RebuildFull means the drift policy fell back to a full parallel
+	// reconstruction (out-of-root particles, migrant fraction, re-sort
+	// volume, or radius inflation past their thresholds).
+	RebuildFull
+)
+
+func (k RebuildKind) String() string {
+	if k == RebuildFull {
+		return "full"
+	}
+	return "refit"
+}
+
 // Evaluator computes potentials/fields for a particle set with a treecode.
 type Evaluator struct {
 	Cfg  Config
@@ -246,24 +267,36 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	e := &Evaluator{Cfg: cfg}
+	if err := e.construct(set); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// construct builds the octree, selects degrees, and runs the upward pass —
+// shared by New and Update's full-rebuild fallback.
+func (e *Evaluator) construct(set *points.Set) error {
 	start := time.Now()
-	bsp := cfg.Obs.Start("core/build")
+	bsp := e.Cfg.Obs.Start("core/build")
 	build := tree.Build
-	if cfg.MortonTree {
+	if e.Cfg.MortonTree {
 		build = tree.BuildMorton
 	}
 	sp := bsp.Child("tree")
-	tr, err := build(set, tree.Config{LeafCap: cfg.LeafCap, Workers: cfg.Workers})
+	tr, err := build(set, tree.Config{LeafCap: e.Cfg.LeafCap, Workers: e.Cfg.Workers})
 	sp.End()
 	if err != nil {
 		bsp.End()
-		return nil, err
+		return err
 	}
-	e := &Evaluator{Cfg: cfg, Tree: tr, upDegree: make(map[*tree.Node]int, tr.NNodes)}
+	e.Tree = tr
+	e.upDegree = make(map[*tree.Node]int, tr.NNodes)
 	sp = bsp.Child("degrees")
 	e.selectDegrees()
 	sp.End()
 	bsp.End()
+	e.maxP = 0
 	for _, d := range e.upDegree {
 		if d > e.maxP {
 			e.maxP = d
@@ -272,8 +305,87 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 	e.Upward()
 	e.leaves = tr.Leaves()
 	e.buildT = time.Since(start)
-	return e, nil
+	return nil
 }
+
+// Update moves the evaluator to new particle positions (given in the
+// original order used to build it), keeping the engine alive across
+// timesteps. The octree is maintained in place by tree.Update — particles
+// that stayed inside their leaf keep their slot, migrants re-bucket
+// locally, statistics and conservative radii refresh bottom-up — and the
+// upward pass reuses expansion storage exactly like SetCharges, so the
+// steady-state (zero-migrant) path allocates next to nothing. When the
+// drift policy detects too much motion, Update falls back to a full
+// parallel rebuild; the returned RebuildKind reports which path ran.
+//
+// Degrees are re-selected only when the decomposition changed (any
+// migrant): Theorem 3 degrees depend on cluster charges and box sizes, not
+// on where particles sit inside their boxes, so a pure in-box drift keeps
+// the selection. It must not run concurrently with evaluation calls.
+func (e *Evaluator) Update(pos []vec.V3) (RebuildKind, error) {
+	t := e.Tree
+	if len(pos) != len(t.Pos) {
+		return RebuildFull, fmt.Errorf("core: %d positions for %d particles", len(pos), len(t.Pos))
+	}
+	start := time.Now()
+	sp := e.Cfg.Obs.Start("core/refit")
+	c := sp.Child("tree")
+	st, err := t.Update(pos, tree.UpdateOpts{Workers: e.Cfg.Workers})
+	c.End()
+	if err != nil {
+		sp.End()
+		return RebuildFull, err
+	}
+	if st.NeedRebuild {
+		sp.End()
+		e.Cfg.Obs.AddRefit(obs.RefitMetrics{Updates: 1, Rebuilds: 1,
+			Migrants: int64(st.Migrants), RadiusInflationMax: st.MaxInflation})
+		return RebuildFull, e.construct(e.snapshotSet(pos))
+	}
+	if st.Migrants > 0 {
+		// The decomposition changed: leaves split or merged, cluster
+		// charges moved between boxes. Re-select degrees and rebuild the
+		// carried-degree map and leaf list for the new shape.
+		c = sp.Child("degrees")
+		clear(e.upDegree)
+		e.selectDegrees()
+		e.maxP = 0
+		for _, d := range e.upDegree {
+			if d > e.maxP {
+				e.maxP = d
+			}
+		}
+		e.leaves = t.Leaves()
+		c.End()
+	}
+	c = sp.Child("upward")
+	e.upward(e.Cfg.Workers)
+	c.End()
+	sp.End()
+	e.buildT = time.Since(start)
+	e.Cfg.Obs.AddRefit(obs.RefitMetrics{Updates: 1, Refits: 1,
+		Migrants: int64(st.Migrants), Splits: int64(st.Splits), Merges: int64(st.Merges),
+		RadiusInflationMax: st.MaxInflation})
+	return RebuildRefit, nil
+}
+
+// snapshotSet reassembles a points.Set in original particle order from the
+// new positions and the tree's (permuted) charges, for the full-rebuild
+// fallback.
+func (e *Evaluator) snapshotSet(pos []vec.V3) *points.Set {
+	t := e.Tree
+	ps := make([]points.Particle, len(pos))
+	for i, orig := range t.Perm {
+		ps[orig] = points.Particle{Pos: pos[orig], Charge: t.Q[i]}
+	}
+	return &points.Set{Particles: ps}
+}
+
+// MaxSelectedDegree returns the largest degree selected for any node. It
+// equals the largest carried degree (carrying only propagates selections
+// downward), so callers sizing evaluation scratch — e.g. the softened
+// n-body path — read it instead of re-walking the tree.
+func (e *Evaluator) MaxSelectedDegree() int { return e.maxP }
 
 // selectDegrees assigns every node its evaluation degree (Theorem 3 for the
 // adaptive method) and the degree its expansion must be carried at.
@@ -341,9 +453,12 @@ func (e *Evaluator) upward(workers int) {
 			if n.Mp == nil || n.Mp.Degree != p {
 				n.Mp = multipole.NewExpansion(n.Center, p)
 			} else {
-				// Recharge path: same degree and center, reuse the
-				// coefficient storage instead of reallocating.
+				// Recharge/refit path: same degree, reuse the coefficient
+				// storage instead of reallocating. Clear keeps the old
+				// center, and a refit may have moved the node's, so
+				// re-anchor explicitly.
 				n.Mp.Clear()
+				n.Mp.Center = n.Center
 			}
 			if n.IsLeaf() {
 				for i := n.Start; i < n.End; i++ {

@@ -36,6 +36,7 @@ import (
 	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/tree"
+	"treecode/internal/vec"
 )
 
 // Config controls the FMM evaluator.
@@ -138,34 +139,105 @@ func New(set *points.Set, cfg Config) (*Evaluator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	e := &Evaluator{Cfg: cfg}
+	if err := e.construct(set); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// construct builds the octree, selects degrees, and runs the upward pass —
+// shared by New and Update's full-rebuild fallback.
+func (e *Evaluator) construct(set *points.Set) error {
 	start := time.Now()
-	bsp := cfg.Obs.Start("fmm/build")
+	bsp := e.Cfg.Obs.Start("fmm/build")
 	sp := bsp.Child("tree")
-	tr, err := tree.Build(set, tree.Config{LeafCap: cfg.LeafCap, Workers: cfg.Workers})
+	tr, err := tree.Build(set, tree.Config{LeafCap: e.Cfg.LeafCap, Workers: e.Cfg.Workers})
 	sp.End()
 	if err != nil {
 		bsp.End()
-		return nil, err
+		return err
 	}
-	e := &Evaluator{
-		Cfg:      cfg,
-		Tree:     tr,
-		upDegree: make(map[*tree.Node]int, tr.NNodes),
-	}
+	e.Tree = tr
+	e.upDegree = make(map[*tree.Node]int, tr.NNodes)
 	sp = bsp.Child("degrees")
 	e.selectDegrees()
 	sp.End()
 	bsp.End()
+	e.maxP = 0
 	for _, d := range e.upDegree {
 		if d > e.maxP {
 			e.maxP = d
 		}
 	}
-	usp := cfg.Obs.Start("fmm/upward")
+	usp := e.Cfg.Obs.Start("fmm/upward")
 	e.upward()
 	usp.End()
 	e.buildT = time.Since(start)
-	return e, nil
+	return nil
+}
+
+// Update moves the evaluator to new particle positions (given in the
+// original order used to build it) — the FMM mirror of the treecode's
+// persistent-engine path. The octree is maintained in place by
+// tree.Update with conservative radii (the separation criterion
+// rA + rB <= alpha*d only sees larger radii, so well-separated pairs stay
+// within the fresh-build error bound) and the upward pass reuses expansion
+// storage; the drift policy falls back to a full parallel rebuild. It must
+// not run concurrently with Potentials.
+func (e *Evaluator) Update(pos []vec.V3) (core.RebuildKind, error) {
+	t := e.Tree
+	if len(pos) != len(t.Pos) {
+		return core.RebuildFull, fmt.Errorf("fmm: %d positions for %d particles", len(pos), len(t.Pos))
+	}
+	start := time.Now()
+	sp := e.Cfg.Obs.Start("fmm/refit")
+	c := sp.Child("tree")
+	st, err := t.Update(pos, tree.UpdateOpts{Workers: e.Cfg.Workers})
+	c.End()
+	if err != nil {
+		sp.End()
+		return core.RebuildFull, err
+	}
+	if st.NeedRebuild {
+		sp.End()
+		e.Cfg.Obs.AddRefit(obs.RefitMetrics{Updates: 1, Rebuilds: 1,
+			Migrants: int64(st.Migrants), RadiusInflationMax: st.MaxInflation})
+		return core.RebuildFull, e.construct(e.snapshotSet(pos))
+	}
+	if st.Migrants > 0 {
+		c = sp.Child("degrees")
+		clear(e.upDegree)
+		e.selectDegrees()
+		e.maxP = 0
+		for _, d := range e.upDegree {
+			if d > e.maxP {
+				e.maxP = d
+			}
+		}
+		c.End()
+	}
+	c = sp.Child("upward")
+	e.upward()
+	c.End()
+	sp.End()
+	e.buildT = time.Since(start)
+	e.Cfg.Obs.AddRefit(obs.RefitMetrics{Updates: 1, Refits: 1,
+		Migrants: int64(st.Migrants), Splits: int64(st.Splits), Merges: int64(st.Merges),
+		RadiusInflationMax: st.MaxInflation})
+	return core.RebuildRefit, nil
+}
+
+// snapshotSet reassembles a points.Set in original particle order from the
+// new positions and the tree's (permuted) charges, for the full-rebuild
+// fallback.
+func (e *Evaluator) snapshotSet(pos []vec.V3) *points.Set {
+	t := e.Tree
+	ps := make([]points.Particle, len(pos))
+	for i, orig := range t.Perm {
+		ps[orig] = points.Particle{Pos: pos[orig], Charge: t.Q[i]}
+	}
+	return &points.Set{Particles: ps}
 }
 
 func (e *Evaluator) selectDegrees() {
@@ -211,7 +283,10 @@ func (e *Evaluator) upward() {
 			if n.Mp == nil || n.Mp.Degree != p {
 				n.Mp = multipole.NewExpansion(n.Center, p)
 			} else {
+				// Clear keeps the old center and a refit may have moved
+				// the node's, so re-anchor explicitly.
 				n.Mp.Clear()
+				n.Mp.Center = n.Center
 			}
 			if n.IsLeaf() {
 				for i := n.Start; i < n.End; i++ {

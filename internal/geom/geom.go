@@ -44,6 +44,17 @@ func (b AABB) MaxDim() float64 { return b.Size().MaxComponent() }
 // of the smallest sphere centered at Center() that encloses the box.
 func (b AABB) HalfDiagonal() float64 { return b.Size().Norm() / 2 }
 
+// MaxDist returns the largest distance from p to any point of the closed
+// box — the farthest-corner distance, i.e. the radius of the smallest
+// sphere centered at p that contains the whole box. Works for p inside or
+// outside the box.
+func (b AABB) MaxDist(p vec.V3) float64 {
+	dx := math.Max(p.X-b.Lo.X, b.Hi.X-p.X)
+	dy := math.Max(p.Y-b.Lo.Y, b.Hi.Y-p.Y)
+	dz := math.Max(p.Z-b.Lo.Z, b.Hi.Z-p.Z)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
 // Contains reports whether p lies in the closed box.
 func (b AABB) Contains(p vec.V3) bool {
 	return p.X >= b.Lo.X && p.X <= b.Hi.X &&

@@ -39,6 +39,7 @@ type MetricsData struct {
 	PPPairs      int64            `json:"pp_pairs"`
 	BudgetTotal  float64          `json:"budget_total"`
 	Batch        BatchMetrics     `json:"batch"`
+	Refit        RefitMetrics     `json:"refit"`
 }
 
 // Snapshot is the full exported state of a collector: the span forest and
@@ -67,6 +68,7 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	md.OpenRatio = ratio
 	md.Batch = m.Batch
+	md.Refit = m.Refit
 	for l, lm := range m.Levels {
 		if lm == (LevelMetrics{}) {
 			continue

@@ -85,6 +85,35 @@ func (b *BatchMetrics) add(o *BatchMetrics) {
 	b.Steals += o.Steals
 }
 
+// RefitMetrics counts what the persistent-engine maintenance passes
+// (Evaluator.Update) saw and did: how many updates ran, which path each
+// took (in-place refit vs drift-policy fallback to a full rebuild), and
+// the drift they observed.
+type RefitMetrics struct {
+	Updates  int64 `json:"updates"`  // Evaluator.Update calls
+	Refits   int64 `json:"refits"`   // updates that maintained the tree in place
+	Rebuilds int64 `json:"rebuilds"` // updates that fell back to a full rebuild
+	Migrants int64 `json:"migrants"` // particles that left their leaf's box
+	Splits   int64 `json:"splits"`   // leaves created by re-bucketing
+	Merges   int64 `json:"merges"`   // leaves removed by re-bucketing
+	// RadiusInflationMax is the largest conservative-radius inflation
+	// ratio any refresh observed (combine over farthest-corner cap;
+	// above 1 means nodes pinned at the cap).
+	RadiusInflationMax float64 `json:"radius_inflation_max"`
+}
+
+func (r *RefitMetrics) add(o *RefitMetrics) {
+	r.Updates += o.Updates
+	r.Refits += o.Refits
+	r.Rebuilds += o.Rebuilds
+	r.Migrants += o.Migrants
+	r.Splits += o.Splits
+	r.Merges += o.Merges
+	if o.RadiusInflationMax > r.RadiusInflationMax {
+		r.RadiusInflationMax = o.RadiusInflationMax
+	}
+}
+
 // Metrics is the merged interaction census of a run. Levels is indexed by
 // tree level and DegreeHist by multipole degree; both grow on demand.
 type Metrics struct {
@@ -93,6 +122,7 @@ type Metrics struct {
 	OpenRatio    RatioStats     // a/r over accepted interactions
 	DegreeClamps int64          // degree selections clamped at the stability cap
 	Batch        BatchMetrics   // leaf-batched evaluation counters (zero for walk mode)
+	Refit        RefitMetrics   // persistent-engine maintenance counters
 }
 
 // Accepts returns the total MAC acceptances across levels.
@@ -170,6 +200,7 @@ func (m *Metrics) mergeFrom(o *Metrics) {
 	m.OpenRatio.merge(&o.OpenRatio)
 	m.DegreeClamps += o.DegreeClamps
 	m.Batch.add(&o.Batch)
+	m.Refit.add(&o.Refit)
 }
 
 func (m *Metrics) clone() Metrics {

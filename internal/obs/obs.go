@@ -79,6 +79,18 @@ func (c *Collector) AddSteals(n int64) {
 	c.mu.Unlock()
 }
 
+// AddRefit folds one persistent-engine Update outcome into the refit
+// metrics. Recorded once per Update from the evaluator — coarse, like
+// AddSteals — so it may share the collector's mutex. Nil-safe.
+func (c *Collector) AddRefit(r RefitMetrics) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.metrics.Refit.add(&r)
+	c.mu.Unlock()
+}
+
 // Metrics returns a deep copy of the merged interaction metrics. Nil-safe:
 // a nil collector yields the zero Metrics.
 func (c *Collector) Metrics() Metrics {

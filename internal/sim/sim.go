@@ -12,9 +12,11 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"treecode/internal/core"
 	"treecode/internal/harmonics"
+	"treecode/internal/multipole"
 	"treecode/internal/points"
 	"treecode/internal/tree"
 	"treecode/internal/vec"
@@ -26,11 +28,46 @@ type State struct {
 	Vel []vec.V3
 }
 
+// RebuildPolicy selects how the simulator maintains its force evaluator
+// across steps.
+type RebuildPolicy int
+
+const (
+	// RebuildAuto (the default) keeps one persistent evaluator alive for
+	// the simulator's lifetime and moves it with Evaluator.Update each
+	// force evaluation: an in-place refit when per-step drift is small, an
+	// automatic full rebuild when the drift policy demands it.
+	RebuildAuto RebuildPolicy = iota
+	// RebuildEvery constructs a fresh evaluator for every force
+	// evaluation — the historical construct-per-call behavior, reproduced
+	// bit for bit, kept for comparison runs and bitwise regression tests.
+	RebuildEvery
+)
+
+func (p RebuildPolicy) String() string {
+	if p == RebuildEvery {
+		return "every"
+	}
+	return "auto"
+}
+
+// ParseRebuildPolicy parses the command-line spelling of a rebuild policy.
+func ParseRebuildPolicy(s string) (RebuildPolicy, error) {
+	switch s {
+	case "", "auto":
+		return RebuildAuto, nil
+	case "every":
+		return RebuildEvery, nil
+	}
+	return RebuildAuto, fmt.Errorf("sim: unknown rebuild policy %q (want auto or every)", s)
+}
+
 // Config controls the simulation.
 type Config struct {
-	Dt     float64     // timestep
-	Force  core.Config // treecode configuration used every step
-	Soften float64     // Plummer softening length (0 = none)
+	Dt      float64       // timestep
+	Force   core.Config   // treecode configuration used every step
+	Soften  float64       // Plummer softening length (0 = none)
+	Rebuild RebuildPolicy // evaluator lifecycle across steps (default auto)
 }
 
 // Simulator advances an n-body system with leapfrog and treecode forces.
@@ -46,6 +83,13 @@ type Simulator struct {
 	// them), so reusing it halves the force evaluations per step without
 	// changing a single bit of the trajectory.
 	acc []vec.V3
+
+	// eng is the persistent evaluator engine of the RebuildAuto policy: it
+	// lives for the simulator's lifetime and follows the particles through
+	// Evaluator.Update. posBuf is the reused original-order position
+	// snapshot handed to Update.
+	eng    *core.Evaluator
+	posBuf []vec.V3
 }
 
 // New validates and wraps the initial state.
@@ -62,12 +106,47 @@ func New(st State, cfg Config) (*Simulator, error) {
 	return &Simulator{Cfg: cfg, State: st}, nil
 }
 
+// evaluator returns a treecode evaluator positioned at the current State:
+// a fresh construction under RebuildEvery (or on the engine's first use),
+// an incremental Evaluator.Update of the persistent engine otherwise.
+func (s *Simulator) evaluator() (*core.Evaluator, error) {
+	if s.Cfg.Rebuild == RebuildEvery {
+		return core.New(s.State.Set, s.Cfg.Force)
+	}
+	if s.eng == nil {
+		e, err := core.New(s.State.Set, s.Cfg.Force)
+		if err != nil {
+			return nil, err
+		}
+		s.eng = e
+		return e, nil
+	}
+	ps := s.State.Set.Particles
+	if cap(s.posBuf) < len(ps) {
+		s.posBuf = make([]vec.V3, len(ps))
+	}
+	s.posBuf = s.posBuf[:len(ps)]
+	for i := range ps {
+		s.posBuf[i] = ps[i].Pos
+	}
+	if _, err := s.eng.Update(s.posBuf); err != nil {
+		return nil, err
+	}
+	return s.eng, nil
+}
+
+// Engine returns the persistent evaluator of the RebuildAuto policy, or
+// nil before the first force evaluation and under RebuildEvery. Read-only
+// diagnostic access (refit counters live in the evaluator's obs collector;
+// potentials at the current positions can be read off it directly).
+func (s *Simulator) Engine() *core.Evaluator { return s.eng }
+
 // Accelerations computes gravitational accelerations with the treecode.
 func (s *Simulator) Accelerations() ([]vec.V3, *core.Stats, error) {
 	if s.Cfg.Soften > 0 {
 		return s.softenedAccel()
 	}
-	e, err := core.New(s.State.Set, s.Cfg.Force)
+	e, err := s.evaluator()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -84,7 +163,7 @@ func (s *Simulator) Accelerations() ([]vec.V3, *core.Stats, error) {
 // only matters at short range, so it is applied to the direct part; the
 // multipole far field is unsoftened (r >> eps there).
 func (s *Simulator) softenedAccel() ([]vec.V3, *core.Stats, error) {
-	e, err := core.New(s.State.Set, s.Cfg.Force)
+	e, err := s.evaluator()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -92,18 +171,24 @@ func (s *Simulator) softenedAccel() ([]vec.V3, *core.Stats, error) {
 	eps2 := s.Cfg.Soften * s.Cfg.Soften
 	n := len(t.Pos)
 	acc := make([]vec.V3, n)
-	var st core.Stats
-	maxDeg := 0
-	t.Walk(func(nd *tree.Node) {
-		if nd.Degree > maxDeg {
-			maxDeg = nd.Degree
-		}
-	})
-	buf := make([]complex128, harmonics.Len(maxDeg+1))
+	st := &core.Stats{
+		BuildTime:  e.BuildTime(),
+		TreeHeight: t.Height,
+		TreeNodes:  t.NNodes,
+		TreeLeaves: t.NLeaves,
+	}
+	buf := make([]complex128, harmonics.Len(e.MaxSelectedDegree()+1))
+	start := time.Now()
 	for i := 0; i < n; i++ {
 		var a vec.V3
 		xi := t.Pos[i]
 		e.VisitInteractions(xi, i, func(nd *tree.Node, degree int) {
+			st.PC++
+			st.Terms += multipole.Terms(degree)
+			if degree > st.MaxDegree {
+				st.MaxDegree = degree
+			}
+			st.BoundSum += nd.Mp.BoundAt(xi, degree)
 			_, grad := nd.Mp.EvaluateFieldBuf(xi, degree, buf)
 			a = a.Add(grad) // attractive: acc = +grad(phi) with phi = sum m/r
 		}, func(j int) {
@@ -112,12 +197,14 @@ func (s *Simulator) softenedAccel() ([]vec.V3, *core.Stats, error) {
 			if r2 == 0 {
 				return
 			}
+			st.PP++
 			inv := 1 / r2
 			a = a.Add(d.Scale(t.Q[j] * inv * math.Sqrt(inv)))
 		})
 		acc[t.Perm[i]] = a
 	}
-	return acc, &st, nil
+	st.EvalTime = time.Since(start)
+	return acc, st, nil
 }
 
 // Step advances one kick-drift-kick timestep. The opening kick reuses the
@@ -152,10 +239,17 @@ func (s *Simulator) Step() error {
 	return nil
 }
 
-// InvalidateForces drops the cached trailing acceleration. Call it after
-// mutating State (positions, masses, particle count) by hand so the next
-// Step recomputes its opening kick instead of reusing stale forces.
-func (s *Simulator) InvalidateForces() { s.acc = nil }
+// InvalidateForces drops the cached trailing acceleration and the
+// persistent evaluator engine. Call it after mutating State (positions,
+// masses, particle count) by hand: the next force evaluation recomputes
+// its opening kick and, under RebuildAuto, constructs a fresh engine —
+// a full rebuild — instead of refitting a tree whose charges and shape no
+// longer match the state.
+func (s *Simulator) InvalidateForces() {
+	s.acc = nil
+	s.eng = nil
+	s.posBuf = nil
+}
 
 // Run advances k steps.
 func (s *Simulator) Run(k int) error {

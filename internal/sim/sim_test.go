@@ -163,11 +163,14 @@ func gaussianState(t *testing.T, n int) State {
 // leave multi-step trajectories bitwise unchanged, because the positions
 // are identical at both kicks and Accelerations is a pure function of the
 // positions. The reference simulator invalidates the cache before every
-// step, which forces the historical evaluate-twice behavior.
+// step, which forces the historical evaluate-twice behavior. RebuildEvery
+// keeps both simulators on construct-per-call evaluators: InvalidateForces
+// also drops the persistent engine, so under RebuildAuto the reference
+// would legitimately differ by summation-order ulps from the refit path.
 func TestStepAccelerationReuseBitwise(t *testing.T) {
 	for _, soften := range []float64{0, 0.05} {
 		st := gaussianState(t, 300)
-		cfg := Config{Dt: 0.01, Force: core.Config{Degree: 4}, Soften: soften}
+		cfg := Config{Dt: 0.01, Force: core.Config{Degree: 4}, Soften: soften, Rebuild: RebuildEvery}
 		cached, err := New(cloneState(st), cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -198,13 +201,26 @@ func TestStepAccelerationReuseBitwise(t *testing.T) {
 	}
 }
 
+// countSpans returns how many top-level spans with the given name the
+// collector recorded.
+func countSpans(col *obs.Collector, name string) int {
+	n := 0
+	for _, sp := range col.Spans() {
+		if sp.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
 // TestStepForceEvaluationCount verifies the cache halves the per-step
-// force evaluations: k steps cost k+1 tree builds (2 for the first step,
-// 1 for each subsequent one) instead of 2k.
+// force evaluations: k steps cost k+1 force evaluations (2 for the first
+// step, 1 for each subsequent one) instead of 2k — under RebuildEvery,
+// k+1 tree builds.
 func TestStepForceEvaluationCount(t *testing.T) {
 	col := obs.New()
 	st := gaussianState(t, 200)
-	s, err := New(st, Config{Dt: 0.01, Force: core.Config{Degree: 3, Obs: col}})
+	s, err := New(st, Config{Dt: 0.01, Force: core.Config{Degree: 3, Obs: col}, Rebuild: RebuildEvery})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,13 +228,140 @@ func TestStepForceEvaluationCount(t *testing.T) {
 	if err := s.Run(k); err != nil {
 		t.Fatal(err)
 	}
-	builds := 0
-	for _, sp := range col.Spans() {
-		if sp.Name == "core/build" {
-			builds++
-		}
-	}
-	if builds != k+1 {
+	if builds := countSpans(col, "core/build"); builds != k+1 {
 		t.Fatalf("%d steps cost %d tree builds, want %d (trailing acceleration not reused?)", k, builds, k+1)
+	}
+}
+
+// TestStepPersistentEngineRefits verifies the RebuildAuto lifecycle: one
+// construction when the engine is born, then one incremental Update per
+// subsequent force evaluation — k steps cost 1 build + k refits. Small dt
+// keeps per-step drift far below the fallback thresholds, so no Update
+// escalates to a rebuild.
+func TestStepPersistentEngineRefits(t *testing.T) {
+	col := obs.New()
+	st := gaussianState(t, 200)
+	s, err := New(st, Config{Dt: 1e-4, Force: core.Config{Degree: 3, Obs: col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	if err := s.Run(k); err != nil {
+		t.Fatal(err)
+	}
+	if builds := countSpans(col, "core/build"); builds != 1 {
+		t.Fatalf("%d steps cost %d tree builds under auto, want 1", k, builds)
+	}
+	if refits := countSpans(col, "core/refit"); refits != k {
+		t.Fatalf("%d steps cost %d refits under auto, want %d", k, refits, k)
+	}
+	m := col.Metrics().Refit
+	if m.Updates != k || m.Refits != k || m.Rebuilds != 0 {
+		t.Fatalf("refit counters = %+v, want %d pure refits", m, k)
+	}
+	if s.Engine() == nil {
+		t.Fatal("persistent engine missing after auto-policy run")
+	}
+}
+
+// TestInvalidateForcesRebuildsEngine verifies the extended InvalidateForces
+// contract: it discards the persistent engine, so the next force
+// evaluation pays a full construction instead of refitting a tree that no
+// longer matches a hand-mutated state.
+func TestInvalidateForcesRebuildsEngine(t *testing.T) {
+	col := obs.New()
+	st := gaussianState(t, 150)
+	s, err := New(st, Config{Dt: 1e-4, Force: core.Config{Degree: 3, Obs: col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	s.State.Set.Particles[0].Charge *= 2
+	s.InvalidateForces()
+	if s.Engine() != nil {
+		t.Fatal("InvalidateForces kept the engine alive")
+	}
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if builds := countSpans(col, "core/build"); builds != 2 {
+		t.Fatalf("%d builds after InvalidateForces, want 2 (initial + forced)", builds)
+	}
+}
+
+// TestSoftenedStatsPopulated pins the softened-path stats fix: the
+// softened traversal used to return all-zero interaction counters, which
+// made the observability layer blind to every softened run. The counters
+// must now reflect the actual M2P/P2P work of the walk.
+func TestSoftenedStatsPopulated(t *testing.T) {
+	st := gaussianState(t, 400)
+	s, err := New(st, Config{
+		Dt:     1e-3,
+		Force:  core.Config{Method: core.Adaptive, Degree: 6, Alpha: 0.5},
+		Soften: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := s.Accelerations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PC == 0 || stats.PP == 0 {
+		t.Fatalf("softened stats empty: PC=%d PP=%d", stats.PC, stats.PP)
+	}
+	if stats.Terms == 0 || stats.MaxDegree == 0 {
+		t.Fatalf("softened degree stats empty: Terms=%d MaxDegree=%d", stats.Terms, stats.MaxDegree)
+	}
+	if stats.BoundSum <= 0 {
+		t.Fatalf("softened BoundSum = %v, want > 0", stats.BoundSum)
+	}
+	if stats.TreeNodes == 0 || stats.TreeLeaves == 0 || stats.TreeHeight == 0 {
+		t.Fatalf("softened tree shape stats empty: %+v", stats)
+	}
+	if stats.EvalTime <= 0 {
+		t.Fatalf("softened EvalTime = %v, want > 0", stats.EvalTime)
+	}
+}
+
+// TestAutoMatchesEveryWithinBudget compares whole trajectories between the
+// persistent-engine policy and construct-per-call: both evaluate with
+// conservative MACs satisfying the same Theorem 2 budget, so after a few
+// steps the positions agree to treecode accuracy (far tighter than the
+// integration error, far looser than roundoff).
+func TestAutoMatchesEveryWithinBudget(t *testing.T) {
+	for _, soften := range []float64{0, 0.02} {
+		st := gaussianState(t, 400)
+		mk := func(p RebuildPolicy) *Simulator {
+			s, err := New(cloneState(st), Config{
+				Dt:      1e-3,
+				Force:   core.Config{Method: core.Adaptive, Degree: 8, Alpha: 0.4},
+				Soften:  soften,
+				Rebuild: p,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		auto, every := mk(RebuildAuto), mk(RebuildEvery)
+		if err := auto.Run(5); err != nil {
+			t.Fatal(err)
+		}
+		if err := every.Run(5); err != nil {
+			t.Fatal(err)
+		}
+		var scale float64
+		for i := range st.Set.Particles {
+			scale = math.Max(scale, every.State.Set.Particles[i].Pos.Norm())
+		}
+		for i := range st.Set.Particles {
+			d := auto.State.Set.Particles[i].Pos.Sub(every.State.Set.Particles[i].Pos).Norm()
+			if d > 1e-6*scale {
+				t.Fatalf("soften=%v: particle %d drifted %.3g between policies", soften, i, d)
+			}
+		}
 	}
 }

@@ -82,6 +82,13 @@ type Tree struct {
 	NLeaves int
 
 	levels [][]*Node // nodes grouped by level, Start-ascending within each
+
+	// Compaction scratch of Update's relocation pass, kept across refits
+	// so steady timestepping reuses the storage.
+	scratchPos  []vec.V3
+	scratchQ    []float64
+	scratchPerm []int
+	migrantMark []bool
 }
 
 // Config controls tree construction.
@@ -173,7 +180,14 @@ func newTree(set *points.Set, cfg *Config) (*Tree, geom.AABB, error) {
 		t.Q[i] = p.Charge
 		t.Perm[i] = i
 	}
-	rootBox := geom.Bound(t.Pos).Cube().Inflate(1 + 1e-9)
+	bound := geom.Bound(t.Pos)
+	rootBox := bound.Cube().Inflate(1 + 1e-9)
+	// The relative inflation can round away entirely when the cloud is tiny
+	// compared to the magnitude of its coordinates (a 1e-9-wide clump near
+	// 0.5: Cube's recentering may exclude an extreme point by one ulp while
+	// the inflation is far below that ulp). Union with the exact bound
+	// restores guaranteed containment; the box stays a cube up to that ulp.
+	rootBox = rootBox.Union(bound)
 	if rootBox.MaxDim() == 0 {
 		// All particles coincide; inflate so octant math works.
 		c := rootBox.Center()

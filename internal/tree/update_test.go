@@ -1,0 +1,340 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+// origPositions returns the tree's current positions in original order —
+// the input Update expects.
+func origPositions(t *Tree) []vec.V3 {
+	pos := make([]vec.V3, len(t.Pos))
+	for i, orig := range t.Perm {
+		pos[orig] = t.Pos[i]
+	}
+	return pos
+}
+
+// perturb returns the tree's positions in original order after a Gaussian
+// step of scale sigma, clamped inside the root cube so no particle escapes
+// (escape handling has its own test).
+func perturb(t *Tree, rng *rand.Rand, sigma float64) []vec.V3 {
+	box := t.Root.Box
+	clamp := func(v, lo, hi float64) float64 { return math.Min(math.Max(v, lo), hi) }
+	pos := make([]vec.V3, len(t.Pos))
+	for i, orig := range t.Perm {
+		p := t.Pos[i]
+		p.X = clamp(p.X+sigma*rng.NormFloat64(), box.Lo.X, box.Hi.X)
+		p.Y = clamp(p.Y+sigma*rng.NormFloat64(), box.Lo.Y, box.Hi.Y)
+		p.Z = clamp(p.Z+sigma*rng.NormFloat64(), box.Lo.Z, box.Hi.Z)
+		pos[orig] = p
+	}
+	return pos
+}
+
+func v3Bits(a, b vec.V3) bool {
+	return math.Float64bits(a.X) == math.Float64bits(b.X) &&
+		math.Float64bits(a.Y) == math.Float64bits(b.Y) &&
+		math.Float64bits(a.Z) == math.Float64bits(b.Z)
+}
+
+func f64Bits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// treesIdentical reports whether two trees agree bit for bit: arrays,
+// structure, and every per-node statistic.
+func treesIdentical(a, b *Tree) bool {
+	if len(a.Pos) != len(b.Pos) || a.NNodes != b.NNodes || a.NLeaves != b.NLeaves || a.Height != b.Height {
+		return false
+	}
+	for i := range a.Pos {
+		if !v3Bits(a.Pos[i], b.Pos[i]) || !f64Bits(a.Q[i], b.Q[i]) || a.Perm[i] != b.Perm[i] {
+			return false
+		}
+	}
+	ok := true
+	var rec func(x, y *Node)
+	rec = func(x, y *Node) {
+		if !ok {
+			return
+		}
+		if x.Start != y.Start || x.End != y.End || x.Level != y.Level || len(x.Children) != len(y.Children) {
+			ok = false
+			return
+		}
+		if !v3Bits(x.Center, y.Center) || !v3Bits(x.Centroid, y.Centroid) ||
+			!f64Bits(x.Charge, y.Charge) || !f64Bits(x.AbsCharge, y.AbsCharge) ||
+			!f64Bits(x.Radius, y.Radius) || !f64Bits(x.BRadius, y.BRadius) {
+			ok = false
+			return
+		}
+		for i := range x.Children {
+			rec(x.Children[i], y.Children[i])
+		}
+	}
+	rec(a.Root, b.Root)
+	return ok
+}
+
+// checkTreeInvariants verifies the post-Update structural contract: the
+// permutation is a bijection, every particle lies inside its node's box,
+// both node spheres contain all their particles (the alpha-criterion's
+// only requirement of a refit), children partition parent ranges against
+// LeafCap, the census matches the structure, and total charge is
+// conserved.
+func checkTreeInvariants(t *testing.T, tr *Tree, wantAbsCharge float64) {
+	t.Helper()
+	n := len(tr.Pos)
+	seen := make([]bool, n)
+	for _, p := range tr.Perm {
+		if p < 0 || p >= n || seen[p] {
+			t.Fatalf("Perm is not a bijection at %d", p)
+		}
+		seen[p] = true
+	}
+	nodes, leaves, height := 0, 0, 0
+	tr.Walk(func(nd *Node) {
+		nodes++
+		if nd.IsLeaf() {
+			leaves++
+			if nd.Count() > tr.LeafCap && nd.Level < MaxDepth {
+				t.Fatalf("leaf [%d,%d) holds %d > LeafCap %d", nd.Start, nd.End, nd.Count(), tr.LeafCap)
+			}
+		}
+		if nd.Level > height {
+			height = nd.Level
+		}
+		for i := nd.Start; i < nd.End; i++ {
+			if !nd.Box.Contains(tr.Pos[i]) {
+				t.Fatalf("particle %d escaped node box [%d,%d) at level %d", i, nd.Start, nd.End, nd.Level)
+			}
+			if d := tr.Pos[i].Dist(nd.Center); d > nd.Radius*(1+1e-9)+1e-12 {
+				t.Fatalf("particle %d outside (Center,Radius) sphere: %g > %g", i, d, nd.Radius)
+			}
+			if d := tr.Pos[i].Dist(nd.Centroid); d > nd.BRadius*(1+1e-9)+1e-12 {
+				t.Fatalf("particle %d outside (Centroid,BRadius) sphere: %g > %g", i, d, nd.BRadius)
+			}
+		}
+		if !nd.IsLeaf() {
+			at := nd.Start
+			for _, c := range nd.Children {
+				if c.Start != at || c.Count() == 0 {
+					t.Fatalf("children do not partition [%d,%d)", nd.Start, nd.End)
+				}
+				at = c.End
+			}
+			if at != nd.End {
+				t.Fatalf("children do not cover [%d,%d)", nd.Start, nd.End)
+			}
+		}
+	})
+	if nodes != tr.NNodes || leaves != tr.NLeaves || height != tr.Height {
+		t.Fatalf("census (%d,%d,%d) disagrees with structure (%d,%d,%d)",
+			tr.NNodes, tr.NLeaves, tr.Height, nodes, leaves, height)
+	}
+	if math.Abs(tr.Root.AbsCharge-wantAbsCharge) > 1e-9*(1+wantAbsCharge) {
+		t.Fatalf("total |charge| drifted: %g want %g", tr.Root.AbsCharge, wantAbsCharge)
+	}
+}
+
+// TestUpdateIdentityBitwise pins the zero-migrant fast path: an Update
+// with unchanged positions must leave the tree bit-identical to a fresh
+// build followed by RefreshGeometry (the reference refresh — both rescan
+// the leaves in tree order), and a second identical Update must change
+// nothing, confirming the conservative combine does not compound.
+func TestUpdateIdentityBitwise(t *testing.T) {
+	set, _ := points.Generate(points.Plummer, 700, 3)
+	updated, err := Build(set, Config{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Build(set, Config{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.RefreshGeometry(1)
+
+	pos := origPositions(updated)
+	st, err := updated.Update(pos, UpdateOpts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Migrants != 0 || st.Splits != 0 || st.Merges != 0 || st.NeedRebuild {
+		t.Fatalf("identity update saw drift: %+v", st)
+	}
+	if !treesIdentical(updated, ref) {
+		t.Fatal("identity Update differs from reference refresh")
+	}
+	if _, err := updated.Update(pos, UpdateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !treesIdentical(updated, ref) {
+		t.Fatal("repeated identity Update is not idempotent")
+	}
+}
+
+// TestUpdateMigrationInvariants drives real migrations (including splits
+// and merges) and checks the full structural contract afterwards.
+func TestUpdateMigrationInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	set, _ := points.Generate(points.Uniform, 600, 2)
+	var want float64
+	for _, p := range set.Particles {
+		want += math.Abs(p.Charge)
+	}
+	tr, err := Build(set, Config{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated, restructured := false, false
+	// Fractions above 1 disable the migrant threshold so even the large
+	// final step exercises re-bucketing instead of bailing out.
+	opts := UpdateOpts{MaxMigrantFrac: 2, MaxInflation: 1e9}
+	for step, sigma := range []float64{1e-3, 0.02, 0.08} {
+		st, err := tr.Update(perturb(tr, rng, sigma), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.NeedRebuild {
+			t.Fatalf("step %d: unexpected rebuild request %+v under permissive thresholds", step, st)
+		}
+		migrated = migrated || st.Migrants > 0
+		restructured = restructured || st.Splits > 0 || st.Merges > 0
+		checkTreeInvariants(t, tr, want)
+	}
+	if !migrated {
+		t.Fatal("perturbations never produced a migrant; test is vacuous")
+	}
+	if !restructured {
+		t.Fatal("perturbations never split or merged a leaf; test is vacuous")
+	}
+}
+
+// TestUpdateWorkerInvariance checks the refit is bitwise identical at any
+// worker count, under quick.Check-generated adversarial sets and motions.
+func TestUpdateWorkerInvariance(t *testing.T) {
+	f := func(in arbitrarySet, seed int64) bool {
+		build := func() *Tree {
+			tr, err := Build(in.set, Config{LeafCap: in.leafCap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		}
+		ref := build()
+		pos := perturb(ref, rand.New(rand.NewSource(seed)), 0.03)
+		opts := func(w int) UpdateOpts {
+			return UpdateOpts{Workers: w, MaxMigrantFrac: 2, MaxInflation: 1e9}
+		}
+		if _, err := ref.Update(pos, opts(1)); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{3, 8} {
+			tr := build()
+			if _, err := tr.Update(pos, opts(w)); err != nil {
+				t.Fatal(err)
+			}
+			if !treesIdentical(ref, tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUpdateFallbackTriggers exercises the drift policy's rebuild
+// recommendations.
+func TestUpdateFallbackTriggers(t *testing.T) {
+	set, _ := points.Generate(points.Uniform, 400, 5)
+	build := func() *Tree {
+		tr, err := Build(set, Config{LeafCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	// A particle leaving the root cube forces a rebuild: no subtree of the
+	// existing decomposition can contain it.
+	tr := build()
+	pos := origPositions(tr)
+	esc := tr.Root.Box.Hi.Add(vec.V3{X: 1, Y: 1, Z: 1})
+	pos[0] = esc
+	st, err := tr.Update(pos, UpdateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.NeedRebuild || st.OutOfRoot != 1 || st.Migrants == 0 {
+		t.Fatalf("escape not flagged: %+v", st)
+	}
+
+	// A large migrant fraction trips the threshold before any surgery.
+	tr = build()
+	pos = origPositions(tr)
+	rng := rand.New(rand.NewSource(3))
+	box := tr.Root.Box
+	sz := box.Size()
+	for i := range pos {
+		if i%2 == 0 {
+			pos[i] = vec.V3{
+				X: box.Lo.X + rng.Float64()*sz.X,
+				Y: box.Lo.Y + rng.Float64()*sz.Y,
+				Z: box.Lo.Z + rng.Float64()*sz.Z,
+			}
+		}
+	}
+	st, err = tr.Update(pos, UpdateOpts{MaxMigrantFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.NeedRebuild {
+		t.Fatalf("scramble of half the particles not flagged: %+v", st)
+	}
+	if st.MaxInflation != 0 {
+		t.Fatalf("early bail should skip the refresh, got inflation %v", st.MaxInflation)
+	}
+
+	// Length mismatch is an error, not a stat.
+	tr = build()
+	if _, err := tr.Update(make([]vec.V3, 3), UpdateOpts{}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+// TestRootBoxContainsExtremes is a regression test for the root-cube
+// containment bug: for clouds tiny relative to the magnitude of their
+// coordinates, Cube's recentering could exclude an extreme point by one
+// ulp while the relative Inflate rounded away entirely, leaving a particle
+// outside every box on its path. The union with the exact bound in newTree
+// restores containment; sweep the adversarial generator's tight-clump
+// regime to hold it.
+func TestRootBoxContainsExtremes(t *testing.T) {
+	for seed := int64(0); seed < 1500; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		set := &points.Set{Particles: make([]points.Particle, n)}
+		for i := range set.Particles {
+			p := vec.V3{X: 0.5 + 1e-9*rng.NormFloat64(), Y: 0.5, Z: 0.5}
+			if rng.Intn(10) == 0 {
+				p = vec.V3{X: rng.Float64() * 100}
+			}
+			set.Particles[i] = points.Particle{Pos: p, Charge: 1}
+		}
+		tr, err := Build(set, Config{LeafCap: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range tr.Pos {
+			if !tr.Root.Box.Contains(p) {
+				t.Fatalf("seed %d: particle %d outside root box", seed, i)
+			}
+		}
+	}
+}
