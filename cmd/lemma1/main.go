@@ -69,6 +69,7 @@ func main() {
 				if nd == tr.Root {
 					return
 				}
+				//lint:ignore nanflow node cell sizes are halved from a positive root extent and never reach zero
 				r := x.Dist(nd.Center) / nd.Size()
 				if r < minRatio {
 					minRatio = r

@@ -77,6 +77,7 @@ func ErrorBudget(e *core.Evaluator, stride int) *Budget {
 			approx := n.Mp.EvaluatePrefix(x, degree, buf)
 			var exact float64
 			for j := n.Start; j < n.End; j++ {
+				//lint:ignore nanflow MAC acceptance puts the target outside the cluster sphere, so the distance is positive
 				exact += t.Q[j] / x.Dist(t.Pos[j])
 			}
 			err := math.Abs(approx - exact)

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// A baseline freezes a set of known findings so CI can fail only on NEW
+// ones: adopt the suite on a codebase with pre-existing debt, then ratchet
+// the debt down without blocking unrelated work. Matching deliberately
+// ignores line and column — editing an unrelated part of a file shifts
+// every position below the edit, and a baseline that churns on every
+// reformat trains people to regenerate it blindly, which defeats it.
+// A finding matches a baseline entry when (file, rule, message) agree;
+// duplicates are handled as a multiset, so two identical findings need
+// two baseline entries and removing one real instance is visible.
+//
+// The flip side of position-free matching: a finding whose message
+// embeds a line number (nanflow's "at line N") re-keys when it moves.
+// That is accepted — such messages name a second program point whose
+// identity matters.
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// Baseline is the on-disk format: versioned so future schema changes can
+// be detected rather than mis-parsed.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+const baselineVersion = 1
+
+// WriteBaseline saves the findings as a baseline file.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Version: baselineVersion}
+	b.Findings = make([]BaselineEntry, 0, len(findings))
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{File: f.File, Rule: f.Rule, Message: f.Message})
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("%s: baseline version %d, want %d", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Filter splits findings into (new, matched): matched findings consume
+// baseline entries as a multiset, new findings had no entry left to
+// consume.
+func (b *Baseline) Filter(findings []Finding) (fresh, matched []Finding) {
+	budget := make(map[BaselineEntry]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[e]++
+	}
+	for _, f := range findings {
+		key := BaselineEntry{File: f.File, Rule: f.Rule, Message: f.Message}
+		if budget[key] > 0 {
+			budget[key]--
+			matched = append(matched, f)
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, matched
+}

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBaselineRoundTrip pins the baseline semantics: matching by (file,
+// rule, message) as a multiset, insensitive to line/col drift.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{File: "a.go", Line: 10, Col: 2, Rule: "nanflow", Message: "division by d may produce NaN"},
+		{File: "a.go", Line: 20, Col: 2, Rule: "nanflow", Message: "division by d may produce NaN"},
+		{File: "b.go", Line: 5, Col: 1, Rule: "goroleak", Message: "spins forever"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 3 {
+		t.Fatalf("baseline has %d entries, want 3", len(b.Findings))
+	}
+
+	// Same findings at shifted lines: all matched, none new.
+	shifted := make([]Finding, len(findings))
+	copy(shifted, findings)
+	for i := range shifted {
+		shifted[i].Line += 100
+	}
+	fresh, matched := b.Filter(shifted)
+	if len(fresh) != 0 || len(matched) != 3 {
+		t.Errorf("shifted findings: %d new, %d matched; want 0, 3", len(fresh), len(matched))
+	}
+
+	// A third identical nanflow finding exceeds the multiset budget of 2.
+	extra := append(shifted, Finding{File: "a.go", Line: 30, Rule: "nanflow", Message: "division by d may produce NaN"})
+	fresh, matched = b.Filter(extra)
+	if len(fresh) != 1 || len(matched) != 3 {
+		t.Errorf("extra finding: %d new, %d matched; want 1, 3", len(fresh), len(matched))
+	}
+
+	// A different message is new even in a baselined file.
+	fresh, _ = b.Filter([]Finding{{File: "b.go", Line: 5, Rule: "goroleak", Message: "other"}})
+	if len(fresh) != 1 {
+		t.Errorf("changed message should be new, got %d new findings", len(fresh))
+	}
+}
+
+func TestReadBaselineRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("want version error, got %v", err)
+	}
+}
+
+// TestWriteSARIF checks the emitted log is valid JSON with the fields CI
+// code-scanning consumers read: schema version, one rule descriptor per
+// analyzer, and a physical location per result.
+func TestWriteSARIF(t *testing.T) {
+	findings := []Finding{
+		{File: "internal/core/eval.go", Line: 42, Col: 7, Rule: "lockbalance", Message: "leaked lock"},
+		{File: "cmd/sweep/main.go", Line: 9, Col: 1, Rule: "lint", Message: "suppression without reason"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, findings, All()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "treelint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// One descriptor per analyzer plus the synthesized "lint" rule.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rule descriptors = %d, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "lockbalance" {
+		t.Errorf("result ruleId = %q", first.RuleID)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/eval.go" || loc.Region.StartLine != 42 {
+		t.Errorf("location = %+v", loc)
+	}
+}
+
+// fixPackage writes a throwaway module with one source file, lints it with
+// the full suite, applies the suggested fixes, and returns the rewritten
+// source.
+func fixPackage(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixme\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunPackage(pkg, All())
+	if len(res.Findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	applied, err := ApplyFixes(res.Findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied[path] == 0 {
+		t.Fatalf("no fixes applied to %s (findings: %v)", path, res.Findings)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestApplyFixesDroppedErr checks both droppederr fix shapes: `_ = `
+// insertion for a bare call statement and the deferred-closure wrap for an
+// argument-free deferred call.
+func TestApplyFixesDroppedErr(t *testing.T) {
+	src := `package fixme
+
+import "os"
+
+func cleanup(f *os.File, path string) {
+	os.Remove(path)
+	defer f.Close()
+}
+`
+	out := fixPackage(t, src)
+	if !strings.Contains(out, "_ = os.Remove(path)") {
+		t.Errorf("missing _ = insertion:\n%s", out)
+	}
+	if !strings.Contains(out, "defer func() { _ = f.Close() }()") {
+		t.Errorf("missing deferred-closure wrap:\n%s", out)
+	}
+}
+
+// TestApplyFixesSharedCapture checks the rebind-before-launch fix.
+func TestApplyFixesSharedCapture(t *testing.T) {
+	src := `package fixme
+
+func sink(int) {}
+
+func launch(n int) {
+	j := 0
+	for i := 0; i < n; i++ {
+		go func() {
+			sink(j)
+		}()
+		j++
+	}
+}
+`
+	out := fixPackage(t, src)
+	if !strings.Contains(out, "j := j\n\t\tgo func() {") {
+		t.Errorf("missing rebind before launch:\n%s", out)
+	}
+}
+
+// TestApplyFixesRejectsOverlap checks that overlapping edits in one file
+// abort without touching it.
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	const src = "package fixme\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	tf := fset.AddFile(path, -1, len(src))
+	tf.SetLinesForContent([]byte(src))
+	mk := func(off, end int) Finding {
+		return Finding{
+			File: path, Rule: "test", Message: "overlap",
+			Fix:     &Fix{Pos: tf.Pos(off), End: tf.Pos(end), New: "x"},
+			fixFset: fset,
+		}
+	}
+	if _, err := ApplyFixes([]Finding{mk(0, 7), mk(4, 10)}); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("want overlap error, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != src {
+		t.Errorf("file modified despite overlap rejection")
+	}
+}

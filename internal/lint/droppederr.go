@@ -7,14 +7,22 @@ import (
 
 // DroppedErr flags call statements that silently discard an error return
 // value, including deferred calls (the classic `defer f.Close()` on a file
-// being written). An explicit `_ =` assignment is the approved discard:
-// it shows the drop was a decision, not an oversight.
+// being written). The approved discards are an explicit `_ =` assignment
+// or the deferred-closure form `defer func() { _ = f.Close() }()` — both
+// show the drop was a decision, not an oversight. For close errors that
+// should propagate, internal/cliio.CloseChecked joins them into a named
+// error return: `defer cliio.CloseChecked(&err, f)`.
 //
 // Best-effort terminal output (fmt.Print* and fmt.Fprint* to
 // os.Stdout/os.Stderr) and never-failing writers (strings.Builder,
 // bytes.Buffer) are exempt. Writes to a *bufio.Writer are also exempt:
 // bufio keeps a sticky error that the final Flush reports, and Flush
 // itself is NOT exempt, so the error cannot be lost without a finding.
+//
+// Findings carry fixes for `treelint -fix`: a bare call statement gains
+// `_ = `, and an argument-free deferred call is wrapped as
+// `defer func() { _ = call }()` (argument-free only — wrapping changes
+// when arguments are evaluated from defer time to call time).
 var DroppedErr = &Analyzer{
 	Name: "droppederr",
 	Doc:  "flags discarded error return values",
@@ -25,14 +33,24 @@ func runDroppedErr(p *Pass) {
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			var call *ast.CallExpr
+			var fix *Fix
 			kind := "result of"
 			switch s := n.(type) {
 			case *ast.ExprStmt:
 				call, _ = s.X.(*ast.CallExpr)
+				if call != nil {
+					fix = &Fix{Pos: s.Pos(), End: s.Pos(), New: "_ = "}
+				}
 			case *ast.DeferStmt:
 				call = s.Call
 				kind = "deferred"
+				if len(call.Args) == 0 {
+					fix = &Fix{Pos: s.Pos(), End: s.End(),
+						New: "defer func() { _ = " + render(call) + " }()"}
+				}
 			case *ast.GoStmt:
+				// No fix: `go func() { _ = f(x) }()` would move the
+				// evaluation of x into the new goroutine.
 				call = s.Call
 				kind = "go"
 			}
@@ -42,8 +60,12 @@ func runDroppedErr(p *Pass) {
 			if !returnsError(p, call) || errExempt(p, call) {
 				return true
 			}
-			p.Report(call.Pos(), "%s %s discards its error; handle it or assign to _ explicitly",
-				kind, callName(call))
+			msg := "%s %s discards its error; handle it or assign to _ explicitly"
+			if fix != nil {
+				p.ReportWithFix(call.Pos(), fix, msg, kind, callName(call))
+			} else {
+				p.Report(call.Pos(), msg, kind, callName(call))
+			}
 			return true
 		})
 	}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// Fix is a machine-suggested edit attached to a Finding: replace the
+// source bytes in [Pos, End) with New. Pos == End is a pure insertion.
+// Only mechanical rules attach fixes — rewrites whose correctness does
+// not depend on analysis precision (inserting `_ = `, rebinding a loop
+// variable). Rules whose findings need human judgment report without
+// one.
+type Fix struct {
+	Pos token.Pos `json:"-"`
+	End token.Pos `json:"-"`
+	New string    `json:"new"`
+}
+
+// ReportWithFix records a finding like Report and attaches a suggested
+// edit that `treelint -fix` can apply.
+func (p *Pass) ReportWithFix(pos token.Pos, fix *Fix, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
+		fixFset: p.Fset,
+	})
+}
+
+// ApplyFixes rewrites the source files touched by findings that carry a
+// fix, returning the number of edits applied per file. Edits within one
+// file are applied back-to-front so earlier offsets stay valid;
+// overlapping edits in the same file are rejected (none applied, an
+// error returned) since applying either would invalidate the other. The
+// rewritten file is re-formatted with go/format before writing, so a fix
+// only has to be syntactically correct, not gofmt-clean.
+func ApplyFixes(findings []Finding) (map[string]int, error) {
+	type edit struct {
+		off, end int
+		new      string
+	}
+	perFile := make(map[string][]edit)
+	for _, f := range findings {
+		if f.Fix == nil || f.fixFset == nil {
+			continue
+		}
+		pos := f.fixFset.Position(f.Fix.Pos)
+		end := f.fixFset.Position(f.Fix.End)
+		if pos.Filename == "" || end.Filename != pos.Filename || end.Offset < pos.Offset {
+			return nil, fmt.Errorf("%s: malformed fix range", f)
+		}
+		perFile[pos.Filename] = append(perFile[pos.Filename], edit{pos.Offset, end.Offset, f.Fix.New})
+	}
+
+	applied := make(map[string]int)
+	for file, edits := range perFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].off > edits[j].off })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].end > edits[i-1].off {
+				return nil, fmt.Errorf("%s: overlapping fixes at offsets %d and %d", file, edits[i].off, edits[i-1].off)
+			}
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range edits {
+			if e.end > len(src) {
+				return nil, fmt.Errorf("%s: fix range beyond end of file", file)
+			}
+			src = append(src[:e.off], append([]byte(e.new), src[e.end:]...)...)
+		}
+		out, err := format.Source(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: fixed source does not parse: %v", file, err)
+		}
+		if err := os.WriteFile(file, out, 0o644); err != nil {
+			return nil, err
+		}
+		applied[file] = len(edits)
+	}
+	return applied, nil
+}

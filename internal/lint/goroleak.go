@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags goroutines that can never be stopped: a `go` statement
+// whose body contains an unconditionally-infinite loop (`for {}` or
+// `for true {}`) with no termination signal anywhere inside — no channel
+// receive or send, no select, no context.Done/Err consultation, no
+// return, and no break/goto that leaves the loop. Such a goroutine
+// outlives every caller; in the long-lived evaluator-pool and server code
+// this layer gates, each leaked goroutine pins its stack and captures for
+// the life of the process.
+//
+// Both `go func() { ... }()` literals and same-package `go f(...)` named
+// functions are analyzed (the latter by resolving f's declaration). A
+// loop that merely *computes* forever but checks a bounded condition
+// (`for i < n`) is out of scope — the rule is about missing stop signals,
+// not about progress, so only provably-unconditional loops are examined.
+// A blocking call inside the loop (e.g. a method that itself waits on a
+// channel) is invisible intraprocedurally; suppress with the blocking
+// contract as the reason.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "flags goroutines spinning in unbounded loops with no stop signal",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(p *Pass) {
+	// Map same-package function objects to their declarations so
+	// `go f(...)` can be followed.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.ObjectOf(fd.Name); obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var what string
+			switch fun := unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body, what = fun.Body, "goroutine"
+			case *ast.Ident:
+				if fd, ok := decls[p.Info.ObjectOf(fun)]; ok {
+					body, what = fd.Body, "goroutine calling "+fun.Name
+				}
+			}
+			if body == nil {
+				return true
+			}
+			checkGoroBody(p, what, body)
+			return true
+		})
+	}
+}
+
+// checkGoroBody reports each outermost hopeless loop in one goroutine
+// body.
+func checkGoroBody(p *Pass, what string, body *ast.BlockStmt) {
+	var labelFor func(ast.Stmt) string
+	labels := make(map[ast.Stmt]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			labels[ls.Stmt] = ls.Label.Name
+		}
+		return true
+	})
+	labelFor = func(s ast.Stmt) string { return labels[s] }
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // only reached if go'd, and then analyzed there
+		}
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || !unconditionalLoop(p, fs) {
+			return true
+		}
+		sc := &stopScanner{p: p, outerLabel: labelFor(fs)}
+		sc.scanLoop(fs)
+		if sc.found {
+			return true // the loop can stop; nested loops were scanned too
+		}
+		p.Report(fs.Pos(), "%s spins in an unbounded for loop with no channel operation, select, context check, return, or break; it can never be stopped", what)
+		return false // the outermost hopeless loop is the finding
+	}
+	ast.Inspect(body, visit)
+}
+
+// unconditionalLoop reports whether fs can only be left by an explicit
+// jump: no condition, or a condition that is constant true.
+func unconditionalLoop(p *Pass, fs *ast.ForStmt) bool {
+	if fs.Cond == nil {
+		return true
+	}
+	if tv, ok := p.Info.Types[fs.Cond]; ok && tv.Value != nil {
+		return tv.Value.String() == "true"
+	}
+	return false
+}
+
+// stopScanner walks one unconditional loop looking for anything that can
+// end or unblock it. breakExits tracks whether an unlabeled break at the
+// current position exits the loop under analysis (false inside nested
+// loops, switches and selects, which consume unlabeled breaks).
+type stopScanner struct {
+	p          *Pass
+	outerLabel string
+	found      bool
+}
+
+func (s *stopScanner) scanLoop(loop *ast.ForStmt) {
+	s.stmt(loop.Body, true)
+}
+
+func (s *stopScanner) stmts(list []ast.Stmt, breakExits bool) {
+	for _, st := range list {
+		if s.found {
+			return
+		}
+		s.stmt(st, breakExits)
+	}
+}
+
+func (s *stopScanner) stmt(st ast.Stmt, breakExits bool) {
+	if s.found || st == nil {
+		return
+	}
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		s.stmts(x.List, breakExits)
+	case *ast.LabeledStmt:
+		s.stmt(x.Stmt, breakExits)
+	case *ast.IfStmt:
+		s.stmt(x.Init, breakExits)
+		s.expr(x.Cond)
+		s.stmt(x.Body, breakExits)
+		s.stmt(x.Else, breakExits)
+	case *ast.ForStmt:
+		s.stmt(x.Init, false)
+		s.expr(x.Cond)
+		s.stmt(x.Post, false)
+		s.stmt(x.Body, false)
+	case *ast.RangeStmt:
+		if t := s.p.TypeOf(x.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				s.found = true // ranging over a channel blocks until close
+				return
+			}
+		}
+		s.expr(x.X)
+		s.stmt(x.Body, false)
+	case *ast.SwitchStmt:
+		s.stmt(x.Init, breakExits)
+		s.expr(x.Tag)
+		for _, c := range x.Body.List {
+			s.stmts(c.(*ast.CaseClause).Body, false)
+		}
+	case *ast.TypeSwitchStmt:
+		s.stmt(x.Init, breakExits)
+		s.stmt(x.Assign, breakExits)
+		for _, c := range x.Body.List {
+			s.stmts(c.(*ast.CaseClause).Body, false)
+		}
+	case *ast.SelectStmt:
+		s.found = true // a select is a stop/unblock point by construction
+	case *ast.SendStmt:
+		s.found = true
+	case *ast.ReturnStmt:
+		s.found = true
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.GOTO:
+			s.found = true // conservatively assume the goto leaves the loop
+		case token.BREAK:
+			if x.Label != nil {
+				s.found = s.outerLabel != "" && x.Label.Name == s.outerLabel
+			} else {
+				s.found = breakExits
+			}
+		}
+	case *ast.ExprStmt:
+		s.expr(x.X)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			s.expr(e)
+		}
+		for _, e := range x.Lhs {
+			s.expr(e)
+		}
+	case *ast.GoStmt:
+		s.expr(x.Call)
+	case *ast.DeferStmt:
+		s.expr(x.Call)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		s.expr(x.X)
+	}
+}
+
+// expr scans an expression for channel receives and context-cancellation
+// calls, without descending into function literals.
+func (s *stopScanner) expr(e ast.Expr) {
+	if s.found || e == nil {
+		return
+	}
+	inspectShallow(e, func(n ast.Node) bool {
+		if s.found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				s.found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isContextSignal(s.p, x) {
+				s.found = true
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isContextSignal reports whether call consults a context.Context for
+// cancellation: ctx.Done() or ctx.Err().
+func isContextSignal(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

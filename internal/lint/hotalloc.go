@@ -74,7 +74,7 @@ func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
 		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
 			if target, ok := unparen(call.Args[0]).(*ast.Ident); ok {
 				if dest, isLocal := localSliceOrigin(fd, target.Name); isLocal && !preallocated[target.Name] {
-					p.Report(call.Pos(), "append to %s, which is %s without capacity, reallocates as it grows in a //treecode:hot function; preallocate with make(..., 0, cap)", target.Name, dest)
+					p.Report(call.Pos(), "append to %s, which is %s, reallocates as it grows in a //treecode:hot function; preallocate with make(..., 0, cap) or reuse a scratch slice (s[:0])", target.Name, dest)
 				}
 			}
 			return true
@@ -183,6 +183,11 @@ func describeSliceInit(e ast.Expr) (string, bool) {
 		}
 	case *ast.CompositeLit:
 		return "a literal without capacity", true
+	case *ast.SliceExpr:
+		if capsToZero(x) {
+			return "resliced to zero capacity", true
+		}
+		return "", false // scratch reuse: capacity travels with the backing array
 	case *ast.Ident:
 		if x.Name == "nil" {
 			return "initialized nil", true
@@ -192,8 +197,15 @@ func describeSliceInit(e ast.Expr) (string, bool) {
 }
 
 // collectPreallocated returns local slice names that are ever created with
-// an explicit capacity inside fd (make with 3 args or a full slice
-// expression), which approves later appends to them.
+// an explicit capacity inside fd, which approves later appends to them:
+//
+//   - make with 3 args (`s := make([]T, 0, cap)`);
+//   - a slice expression over existing storage (`out = w.scratch[:0]`,
+//     `buf = buf[:0]`) — the scratch-reuse idiom of the batched
+//     evaluators, which carries the backing array's capacity with it, so
+//     appends up to that capacity do not allocate. A capped three-index
+//     slice (`s[:0:0]`) does NOT count: capping to zero forces the next
+//     append to reallocate, which is the copy-on-append idiom, not reuse.
 func collectPreallocated(fd *ast.FuncDecl) map[string]bool {
 	out := make(map[string]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -206,8 +218,13 @@ func collectPreallocated(fd *ast.FuncDecl) map[string]bool {
 			if !ok || i >= len(s.Rhs) {
 				continue
 			}
-			if call, ok := unparen(s.Rhs[i]).(*ast.CallExpr); ok {
-				if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "make" && len(call.Args) >= 3 {
+			switch rhs := unparen(s.Rhs[i]).(type) {
+			case *ast.CallExpr:
+				if fn, ok := rhs.Fun.(*ast.Ident); ok && fn.Name == "make" && len(rhs.Args) >= 3 {
+					out[id.Name] = true
+				}
+			case *ast.SliceExpr:
+				if !capsToZero(rhs) {
 					out[id.Name] = true
 				}
 			}
@@ -215,4 +232,18 @@ func collectPreallocated(fd *ast.FuncDecl) map[string]bool {
 		return true
 	})
 	return out
+}
+
+// capsToZero reports whether a slice expression explicitly caps capacity
+// at the low bound (`s[:0:0]`, `s[i:i:i]`), deliberately discarding the
+// backing array's spare capacity.
+func capsToZero(se *ast.SliceExpr) bool {
+	if !se.Slice3 || se.Max == nil {
+		return false
+	}
+	low := "0"
+	if se.Low != nil {
+		low = render(se.Low)
+	}
+	return render(se.Max) == low
 }

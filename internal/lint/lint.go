@@ -42,6 +42,11 @@ type Finding struct {
 	Col     int    `json:"col"`
 	Rule    string `json:"rule"`
 	Message string `json:"message"`
+	Fix     *Fix   `json:"fix,omitempty"`
+
+	// fixFset resolves Fix positions to byte offsets at apply time; set
+	// only when Fix is.
+	fixFset *token.FileSet
 }
 
 func (f Finding) String() string {
@@ -104,6 +109,11 @@ func All() []*Analyzer {
 		MathDomain,
 		SyncByValue,
 		HotAlloc,
+		LockBalance,
+		WaitGroup,
+		GoroLeak,
+		SharedCapture,
+		NanFlow,
 	}
 }
 

@@ -70,7 +70,10 @@ func lintFixture(t *testing.T, name string) *Result {
 // seeded violation is caught by exactly the intended rule and that nothing
 // else is flagged.
 func TestAnalyzerFixtures(t *testing.T) {
-	for _, rule := range []string{"floatcmp", "droppederr", "mathdomain", "syncbyvalue", "hotalloc"} {
+	for _, rule := range []string{
+		"floatcmp", "droppederr", "mathdomain", "syncbyvalue", "hotalloc",
+		"lockbalance", "waitgroup", "goroleak", "sharedcapture", "nanflow",
+	} {
 		t.Run(rule, func(t *testing.T) {
 			res := lintFixture(t, rule)
 			got := make(map[string][]string)
@@ -110,6 +113,9 @@ func TestSuppressions(t *testing.T) {
 
 	if got := res.Suppressed["floatcmp"]; got != 2 {
 		t.Errorf("suppressed floatcmp count = %d, want 2", got)
+	}
+	if got := res.Suppressed["lockbalance"]; got != 1 {
+		t.Errorf("suppressed lockbalance count = %d, want 1", got)
 	}
 	var rules []string
 	for _, f := range res.Findings {

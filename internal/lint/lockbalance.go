@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockBalance checks, on the CFG of every function body, that each
+// sync.Mutex/RWMutex acquired by the function is released on every path
+// to a return. `defer mu.Unlock()` (direct or wrapped in a deferred
+// closure) is recognized and balances every path at once. A second Lock
+// of a mutex that may already be held on some path is reported as a
+// self-deadlock.
+//
+// The analysis is a forward may-held dataflow per lock expression (the
+// rendered receiver, so `mu`, `s.mu` and `runs[i].mu` are distinct keys),
+// iterated to a fixpoint over the block graph. Precision notes:
+//
+//   - Unlock without a preceding Lock is deliberately NOT reported: the
+//     hand-over-hand and "caller holds the lock" helper patterns (e.g. a
+//     method documented as requiring mu held) are legitimate and common.
+//   - A defer anywhere in the function is treated as covering the whole
+//     function. A conditionally-registered defer therefore over-approves;
+//     the rule trades that miss for zero false positives on the
+//     lock-then-defer-under-condition idiom.
+//   - Lock/Unlock pairs split across functions are invisible (the
+//     analysis is intraprocedural); such designs should carry a
+//     //lint:ignore with the ownership contract as the reason.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "flags paths that return while holding a sync mutex and possible double-locks",
+	Run:  runLockBalance,
+}
+
+// lockOp classifies one mutex call site.
+type lockOp struct {
+	key     string // rendered receiver + lock class ("mu", "s.mu#r")
+	acquire bool
+	pos     token.Pos
+}
+
+func runLockBalance(p *Pass) {
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, fb := range collectFuncBodies(file) {
+			checkLockBalance(p, fb)
+		}
+	}
+}
+
+// mutexMethod resolves a call to Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex (including embedded ones) and returns the
+// lock key and whether it acquires.
+func mutexMethod(p *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	name := sel.Sel.Name
+	var acquire bool
+	var class string
+	switch name {
+	case "Lock":
+		acquire, class = true, ""
+	case "Unlock":
+		acquire, class = false, ""
+	case "RLock":
+		acquire, class = true, "#r"
+	case "RUnlock":
+		acquire, class = false, "#r"
+	default:
+		return lockOp{}, false
+	}
+	obj := p.Info.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	return lockOp{key: render(sel.X) + class, acquire: acquire, pos: call.Pos()}, true
+}
+
+// deferredUnlockKeys collects the lock keys released by defer statements
+// anywhere in the body: `defer mu.Unlock()` and `defer func() { ...
+// mu.Unlock() ... }()`.
+func deferredUnlockKeys(p *Pass, body *ast.BlockStmt) map[string]bool {
+	keys := make(map[string]bool)
+	record := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if op, ok := mutexMethod(p, call); ok && !op.acquire {
+					keys[op.key] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				record(lit.Body)
+			} else {
+				record(d.Call)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// lockState maps held lock keys to the position of the acquiring Lock.
+type lockState map[string]token.Pos
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeInto unions src into dst, reporting whether dst changed.
+func (s lockState) mergeInto(dst lockState) bool {
+	changed := false
+	for k, v := range s {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func checkLockBalance(p *Pass, fb funcBody) {
+	// Fast pre-check: skip functions with no mutex calls at all.
+	hasMutex := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if hasMutex {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := mutexMethod(p, call); ok {
+				hasMutex = true
+			}
+		}
+		return true
+	})
+	if !hasMutex {
+		return
+	}
+
+	deferred := deferredUnlockKeys(p, fb.body)
+	cfg := BuildCFG(fb.body)
+	order := cfg.ReversePostorder()
+
+	in := make(map[int]lockState)
+	in[cfg.Entry.Index] = lockState{}
+
+	type report struct {
+		pos token.Pos
+		msg string
+	}
+	reports := make(map[string]report) // dedupe across fixpoint iterations
+
+	// transfer applies one block's nodes to a state copy, recording
+	// double-lock reports as it goes.
+	transfer := func(b *Block, st lockState) lockState {
+		st = st.clone()
+		for _, n := range b.Nodes {
+			// Deferred unlocks do not execute at their source position.
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			walkNode(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				op, ok := mutexMethod(p, call)
+				if !ok {
+					return true
+				}
+				if op.acquire {
+					// Re-acquiring a write lock self-deadlocks; RLock is
+					// shared and may legitimately nest.
+					if _, held := st[op.key]; held && !isReaderKey(op.key) {
+						reports["dbl:"+op.key] = report{
+							pos: op.pos,
+							msg: "second Lock of " + op.key + " on a path where it may already be held (self-deadlock)",
+						}
+					}
+					st[op.key] = op.pos
+				} else {
+					delete(st, op.key)
+				}
+				return true
+			})
+		}
+		return st
+	}
+
+	// Fixpoint iteration.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			st, ok := in[b.Index]
+			if !ok {
+				continue
+			}
+			out := transfer(b, st)
+			for _, succ := range b.Succs {
+				dst, ok := in[succ.Index]
+				if !ok {
+					dst = lockState{}
+					in[succ.Index] = dst
+					changed = true
+				}
+				if out.mergeInto(dst) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Any lock held at Exit without a deferred unlock escapes the function.
+	if exit, ok := in[cfg.Exit.Index]; ok {
+		for key, pos := range exit {
+			if deferred[key] {
+				continue
+			}
+			reports["exit:"+key] = report{
+				pos: pos,
+				msg: "some path returns from " + fb.name + " without unlocking " + displayLockKey(key),
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(reports))
+	for k := range reports {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.Report(reports[k].pos, "%s", reports[k].msg)
+	}
+}
+
+// isReaderKey reports whether key tracks the reader side of an RWMutex.
+func isReaderKey(key string) bool {
+	return len(key) > 2 && key[len(key)-2:] == "#r"
+}
+
+// displayLockKey strips the internal reader-lock suffix for diagnostics.
+func displayLockKey(key string) string {
+	if isReaderKey(key) {
+		return key[:len(key)-2] + " (RLock)"
+	}
+	return key
+}

@@ -54,30 +54,34 @@ func runMathDomain(p *Pass) {
 	}
 }
 
-func checkMathDomainFunc(p *Pass, fd *ast.FuncDecl) {
-	assigns := collectAssignments(fd)
-	var stack []ast.Node
-	// provable combines the value analysis (isNonNeg) with the dominating-
-	// guard analysis, recursing through sums, products and quotients so
-	// that e.g. eps*a/(1-alpha) is proven once eps, a and alpha are each
-	// covered by an early bail-out.
-	var provable func(e ast.Expr) bool
-	provable = func(e ast.Expr) bool {
-		e = unparen(e)
-		if isNonNeg(p, e, assigns, nil) || guardedNonNeg(p, e, stack) {
-			return true
-		}
-		if be, ok := e.(*ast.BinaryExpr); ok {
-			switch be.Op {
-			case token.ADD, token.MUL, token.QUO:
-				return provable(be.X) && provable(be.Y)
-			case token.SUB:
-				// c - x >= 0 when a dominating guard bounds x < c' <= c.
-				return constNonNeg(p, be.X) && guardedUpperBound(p, be.Y, be.X, stack)
-			}
-		}
-		return false
+// provableNonNeg combines the value analysis (isNonNeg) with the
+// dominating-guard analysis, recursing through sums, products and
+// quotients so that e.g. eps*a/(1-alpha) is proven once eps, a and alpha
+// are each covered by an early bail-out. stack is the AST ancestry of the
+// expression's use site (innermost last), as maintained by a push/pop
+// ast.Inspect. Shared by mathdomain (call-site domains) and nanflow
+// (source classification).
+func provableNonNeg(p *Pass, e ast.Expr, assigns map[string][]ast.Expr, stack []ast.Node) bool {
+	e = unparen(e)
+	if isNonNeg(p, e, assigns, nil) || guardedNonNeg(p, e, stack) {
+		return true
 	}
+	if be, ok := e.(*ast.BinaryExpr); ok {
+		switch be.Op {
+		case token.ADD, token.MUL, token.QUO:
+			return provableNonNeg(p, be.X, assigns, stack) && provableNonNeg(p, be.Y, assigns, stack)
+		case token.SUB:
+			// c - x >= 0 when a dominating guard bounds x < c' <= c.
+			return constNonNeg(p, be.X) && guardedUpperBound(p, be.Y, be.X, stack)
+		}
+	}
+	return false
+}
+
+func checkMathDomainFunc(p *Pass, fd *ast.FuncDecl) {
+	assigns := collectAssignments(fd.Body)
+	var stack []ast.Node
+	provable := func(e ast.Expr) bool { return provableNonNeg(p, e, assigns, stack) }
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
@@ -117,8 +121,9 @@ func checkMathDomainFunc(p *Pass, fd *ast.FuncDecl) {
 }
 
 // collectAssignments maps local variable names to every expression
-// assigned to them within the function (nil marks unanalyzable writes).
-func collectAssignments(fd *ast.FuncDecl) map[string][]ast.Expr {
+// assigned to them within the function body (nil marks unanalyzable
+// writes).
+func collectAssignments(body *ast.BlockStmt) map[string][]ast.Expr {
 	m := make(map[string][]ast.Expr)
 	mark := func(name string, e ast.Expr) {
 		if name == "_" || name == "" {
@@ -126,7 +131,7 @@ func collectAssignments(fd *ast.FuncDecl) map[string][]ast.Expr {
 		}
 		m[name] = append(m[name], e)
 	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.AssignStmt:
 			if len(s.Lhs) == len(s.Rhs) {

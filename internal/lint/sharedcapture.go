@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedCapture flags closures that run concurrently while sharing a
+// mutable local variable with other code:
+//
+//   - A `go` closure capturing a variable of the enclosing function that
+//     is written outside the closure at a point reachable after the
+//     goroutine starts (including earlier statements of an enclosing
+//     loop body, which re-execute on the next iteration). The classic
+//     instance is the pre-Go-1.22 loop-variable capture; in 1.22 loop
+//     variables are per-iteration, but variables declared outside the
+//     loop and mutated inside it — indices, error slots, accumulators —
+//     still race exactly the same way.
+//   - A worker-body closure handed to a scheduler entry point (a
+//     function named Run/Go/Submit/Spawn in a package named sched) that
+//     writes a captured variable: the scheduler runs the body on several
+//     goroutines at once, so every instance writes the same slot. Writes
+//     through index or field expressions are exempt — disjoint
+//     element/field writes are the partitioning idiom the scheduler
+//     exists for.
+//
+// The reachability question ("can this write execute after the launch?")
+// is answered on the function's CFG with loop back edges included. The
+// fix for a flagged `go` capture is mechanical — rebind before launch
+// (`x := x`) or pass x as an argument — and the rule attaches that edit
+// for `treelint -fix`.
+var SharedCapture = &Analyzer{
+	Name: "sharedcapture",
+	Doc:  "flags concurrent closures capturing locals that are mutated elsewhere",
+	Run:  runSharedCapture,
+}
+
+func runSharedCapture(p *Pass) {
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, fb := range collectFuncBodies(file) {
+			checkSharedCapture(p, fb)
+		}
+	}
+}
+
+func checkSharedCapture(p *Pass, fb funcBody) {
+	// Find launch sites first; skip the CFG entirely when there are none.
+	type launch struct {
+		lit  *ast.FuncLit
+		stmt ast.Node // the GoStmt or launcher CallExpr
+		sync bool     // true: launcher blocks until all instances finish
+	}
+	var launches []launch
+	inspectShallow(fb.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				launches = append(launches, launch{lit: lit, stmt: x, sync: false})
+			}
+		case *ast.CallExpr:
+			if isSchedLauncher(p, x) {
+				for _, arg := range x.Args {
+					if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+						launches = append(launches, launch{lit: lit, stmt: x, sync: true})
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(launches) == 0 {
+		return
+	}
+
+	cfg := BuildCFG(fb.body)
+	blocks := cfg.ReversePostorder()
+
+	// Locate each node's block and order for same-block comparisons.
+	type loc struct {
+		block *Block
+		order int
+	}
+	locOf := func(target ast.Node) (loc, bool) {
+		for _, b := range blocks {
+			for i, n := range b.Nodes {
+				found := false
+				walkNode(n, func(m ast.Node) bool {
+					if m == target {
+						found = true
+						return false
+					}
+					return true
+				})
+				if found {
+					return loc{b, i}, true
+				}
+			}
+		}
+		return loc{}, false
+	}
+
+	for _, l := range launches {
+		captured := capturedVars(p, fb, l.lit)
+		if len(captured) == 0 {
+			continue
+		}
+		if l.sync {
+			// Synchronous multi-goroutine launcher: only writes inside the
+			// closure itself race (instance vs instance); the caller is
+			// blocked for the duration.
+			reportInsideWrites(p, l.lit, captured)
+			continue
+		}
+		launchLoc, ok := locOf(l.stmt)
+		if !ok {
+			continue
+		}
+		reach := cfg.ReachableFrom(launchLoc.block, false)
+		reachNoBack := cfg.ReachableFrom(launchLoc.block, true)
+		for obj, firstUse := range captured {
+			// Go 1.22 loop variables are per-iteration: for a variable
+			// declared by a loop header, writes reached only through the
+			// loop's back edge hit the NEXT iteration's instance, which
+			// the closure does not share. Restrict to forward (no-back-
+			// edge) reachability and ignore the loop's own post statement.
+			declLoop := loopDeclaring(fb, obj)
+			r := reach
+			if declLoop != nil {
+				r = reachNoBack
+			}
+			w, ok := findWriteAfter(p, l.lit, obj, declLoop, blocks, launchLoc.block, launchLoc.order, r)
+			if !ok {
+				continue
+			}
+			pe := p.Fset.Position(w)
+			p.ReportWithFix(firstUse, &Fix{
+				Pos: l.stmt.Pos(), End: l.stmt.Pos(),
+				New: obj.Name() + " := " + obj.Name() + "\n",
+			}, "goroutine closure captures %s, which is also written at line %d after the goroutine may have started; rebind (%s := %s) before the go statement or pass it as an argument",
+				obj.Name(), pe.Line, obj.Name(), obj.Name())
+		}
+	}
+}
+
+// isSchedLauncher reports whether call invokes a concurrency entry point
+// of a scheduler package: a function named Run, Go, Submit or Spawn whose
+// defining package is named "sched".
+func isSchedLauncher(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Run", "Go", "Submit", "Spawn":
+	default:
+		return false
+	}
+	fn, ok := p.Info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Name() == "sched"
+}
+
+// capturedVars returns the variables of the enclosing function used
+// inside lit by reference, mapped to the position of their first use in
+// the closure. Package-level variables and closure-local declarations are
+// excluded.
+func capturedVars(p *Pass, fb funcBody, lit *ast.FuncLit) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Declared inside the closure (including its params): not captured.
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		// Declared outside the enclosing function (package-level or an
+		// outer closure's binding): out of this rule's scope.
+		if v.Pos() < fb.body.Pos() && !isParamOf(fb, v) {
+			return true
+		}
+		if _, seen := out[v]; !seen {
+			out[v] = id.Pos()
+		}
+		return true
+	})
+	return out
+}
+
+// isParamOf reports whether v is a parameter (or named result, or method
+// receiver) of the analyzed function.
+func isParamOf(fb funcBody, v *types.Var) bool {
+	var ft *ast.FuncType
+	var recv *ast.FieldList
+	if fb.decl != nil {
+		ft, recv = fb.decl.Type, fb.decl.Recv
+	} else {
+		ft = fb.lit.Type
+	}
+	within := func(fl *ast.FieldList) bool {
+		return fl != nil && v.Pos() >= fl.Pos() && v.Pos() < fl.End()
+	}
+	return within(ft.Params) || within(ft.Results) || within(recv)
+}
+
+// reportInsideWrites flags captured variables written inside a
+// synchronous worker closure.
+func reportInsideWrites(p *Pass, lit *ast.FuncLit, captured map[*types.Var]token.Pos) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		for _, target := range writeTargets(n) {
+			v, ok := p.Info.ObjectOf(target).(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, isCaptured := captured[v]; !isCaptured {
+				continue
+			}
+			p.Report(target.Pos(),
+				"worker closure writes captured variable %s; every scheduler goroutine writes the same slot — use a per-worker shard or an atomic", v.Name())
+			delete(captured, v) // one report per variable
+		}
+		return true
+	})
+}
+
+// writeTargets returns the identifiers directly written by n (assignment
+// to a bare identifier, ++/--, or a `for k = range` re-binding;
+// index/field stores do not count). A := definition is NOT a write: it
+// creates a fresh per-execution instance, which a previously-launched
+// closure cannot share.
+func writeTargets(n ast.Node) []*ast.Ident {
+	var out []*ast.Ident
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			return nil
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				out = append(out, id)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := unparen(s.X).(*ast.Ident); ok {
+			out = append(out, id)
+		}
+	case *ast.RangeStmt:
+		if s.Tok == token.ASSIGN {
+			if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+				out = append(out, id)
+			}
+			if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// loopDeclaring returns the for/range statement whose header declares v
+// (making it per-iteration under Go 1.22 semantics), or nil.
+func loopDeclaring(fb funcBody, v *types.Var) ast.Node {
+	within := func(n ast.Node) bool {
+		return n != nil && v.Pos() >= n.Pos() && v.Pos() < n.End()
+	}
+	var found ast.Node
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			if within(x.Init) {
+				found = x
+			}
+		case *ast.RangeStmt:
+			if x.Tok == token.DEFINE && (within(x.Key) || within(x.Value)) {
+				found = x
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// findWriteAfter looks for a write to v, outside lit, that can execute
+// after the launch point: later in the launch block, or in any block in
+// reach (for ordinary variables that includes loop back edges, so a write
+// earlier in the same loop body counts — it runs again next iteration).
+// For a loop-declared v, writes in declLoop's own post statement and
+// range re-binding are skipped: they target the next iteration's
+// instance.
+func findWriteAfter(p *Pass, lit *ast.FuncLit, v *types.Var, declLoop ast.Node, blocks []*Block, launchBlock *Block, launchOrder int, reach map[int]bool) (token.Pos, bool) {
+	var postRange ast.Node
+	if fs, ok := declLoop.(*ast.ForStmt); ok && fs.Post != nil {
+		postRange = fs.Post
+	}
+	for _, b := range blocks {
+		if b != launchBlock && !reach[b.Index] {
+			continue
+		}
+		for i, n := range b.Nodes {
+			if b == launchBlock && i < launchOrder {
+				continue
+			}
+			if postRange != nil && n.Pos() >= postRange.Pos() && n.Pos() < postRange.End() {
+				continue
+			}
+			if declLoop == n {
+				continue // the declaring loop's own range binding
+			}
+			var pos token.Pos
+			check := func(m ast.Node) bool {
+				for _, target := range writeTargets(m) {
+					if p.Info.ObjectOf(target) == v {
+						pos = target.Pos()
+						return false
+					}
+				}
+				return true
+			}
+			// A RangeStmt block node is a write in itself (`for k = range`);
+			// walkNode would only surface its Key/Value idents.
+			if !check(n) {
+				return pos, true
+			}
+			walkNode(n, func(m ast.Node) bool {
+				if m == ast.Node(lit) {
+					// The launched closure's own writes are the goroutine's;
+					// they pair with outside writes found separately.
+					return false
+				}
+				return check(m)
+			})
+			if pos != token.NoPos {
+				return pos, true
+			}
+		}
+	}
+	return token.NoPos, false
+}

@@ -44,3 +44,25 @@ func buffered(f *os.File) {
 	fmt.Fprintln(w, "header") // exempt: bufio keeps the error sticky...
 	w.Flush()                 // WANT droppederr
 }
+
+func deferredClosureDiscard(f *os.File) {
+	defer func() { _ = f.Close() }() // exempt: the approved deferred-discard idiom
+}
+
+// closeChecked mirrors cliio.CloseChecked: the close error lands in the
+// caller's named return instead of being dropped.
+func closeChecked(errp *error, f *os.File) {
+	if cerr := f.Close(); *errp == nil {
+		*errp = cerr
+	}
+}
+
+func deferredCheckedClose(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer closeChecked(&err, f) // exempt: the helper returns nothing and checks inside
+	_, err = f.WriteString("data\n")
+	return err
+}

@@ -1,0 +1,120 @@
+// Package goroleakfix exercises the goroleak rule: a goroutine spinning
+// in an unconditionally-infinite loop with no stop signal (channel
+// operation, select, context check, return, or exiting break) can never
+// be shut down. Bounded loops and loops with any termination signal stay
+// clean.
+package goroleakfix
+
+import "context"
+
+func plainSpin() {
+	go func() {
+		n := 0
+		for { // WANT goroleak
+			n++
+		}
+	}()
+}
+
+func constTrueSpin() {
+	go func() {
+		for true { // WANT goroleak
+		}
+	}()
+}
+
+// namedSpinner is only analyzed because launchNamed starts it with `go`;
+// the finding anchors at the hopeless loop itself.
+func namedSpinner() {
+	n := 0
+	for { // WANT goroleak
+		n++
+	}
+}
+
+func launchNamed() {
+	go namedSpinner()
+}
+
+func selectLoop(stop chan struct{}) { // clean: select can take the stop case
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func receiveLoop(work chan int) { // clean: the receive unblocks/terminates
+	go func() {
+		n := 0
+		for {
+			n += <-work
+		}
+	}()
+}
+
+func rangeChannel(work chan int) { // clean: range over a channel ends on close
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+func contextLoop(ctx context.Context) { // clean: consults cancellation
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}()
+}
+
+func breakOut(limit int) { // clean: the break leaves the loop
+	go func() {
+		n := 0
+		for {
+			n++
+			if n > limit {
+				break
+			}
+		}
+	}()
+}
+
+func boundedLoop(n int) { // clean: bounded condition, not this rule's business
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}
+
+func nestedBreakDoesNotExit(flags []bool) {
+	go func() {
+		for { // WANT goroleak
+			for _, f := range flags {
+				if f {
+					break // leaves the inner range only
+				}
+			}
+		}
+	}()
+}
+
+func labeledBreakExits(flags []bool) { // clean: labeled break leaves the outer loop
+	go func() {
+	outer:
+		for {
+			for _, f := range flags {
+				if f {
+					break outer
+				}
+			}
+		}
+	}()
+}

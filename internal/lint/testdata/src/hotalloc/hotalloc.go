@@ -29,6 +29,37 @@ func hotPrealloc(xs []float64) []float64 {
 	return out
 }
 
+type worker struct {
+	scratch []float64
+}
+
+// hotScratchReuse is the batched evaluators' scratch-reuse pattern: the
+// slice expression carries the backing array's capacity, so appends up to
+// that capacity do not allocate.
+//
+//treecode:hot
+func hotScratchReuse(w *worker, xs []float64) []float64 {
+	var out []float64
+	out = w.scratch[:0]
+	for _, x := range xs {
+		out = append(out, x*2) // exempt: backed by the reusable scratch buffer
+	}
+	w.scratch = out
+	return out
+}
+
+// hotCappedSlice caps capacity to zero, which forces reallocation on the
+// first append — copy-on-append, not reuse.
+//
+//treecode:hot
+func hotCappedSlice(w *worker, xs []float64) []float64 {
+	out := w.scratch[:0:0]
+	for _, x := range xs {
+		out = append(out, x*2) // WANT hotalloc
+	}
+	return out
+}
+
 type sink interface{ Put(v any) }
 
 //treecode:hot

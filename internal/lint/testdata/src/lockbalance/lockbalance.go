@@ -1,0 +1,106 @@
+// Package lockbalancefix exercises the lockbalance rule: every path
+// through a Lock must reach an Unlock (defer counts for all paths), and
+// a Lock of a mutex that may already be held is a self-deadlock. Unlock
+// without Lock (caller-holds-lock helpers) is deliberately not flagged.
+package lockbalancefix
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func deferBalanced(s *store) int { // clean: defer covers every path
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		return s.n
+	}
+	return 0
+}
+
+func explicitBalanced(s *store, flag bool) int { // clean: unlocked on both paths
+	s.mu.Lock()
+	if flag {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+func earlyReturnLeak(s *store, flag bool) int {
+	s.mu.Lock() // WANT lockbalance
+	if flag {
+		return 0 // this path never unlocks
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+func doubleLock(s *store) {
+	s.mu.Lock()
+	s.mu.Lock() // WANT lockbalance
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func maybeHeldLock(s *store, flag bool) {
+	if flag {
+		s.mu.Lock()
+	}
+	s.mu.Lock() // WANT lockbalance
+	s.mu.Unlock()
+}
+
+func deferredClosure(s *store) int { // clean: unlock inside deferred closure
+	s.mu.Lock()
+	defer func() {
+		s.n = 0
+		s.mu.Unlock()
+	}()
+	return s.n
+}
+
+func readersMayNest(s *store) int { // clean: RLock is shared, nesting is legal
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.rw.RLock()
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+func readLeak(s *store, flag bool) int {
+	s.rw.RLock() // WANT lockbalance
+	if flag {
+		return -1
+	}
+	s.rw.RUnlock()
+	return s.n
+}
+
+// callerHolds is documented as requiring s.mu held: releasing a lock this
+// function did not acquire is the hand-over-hand idiom and not flagged.
+func callerHolds(s *store) {
+	s.n++
+	s.mu.Unlock()
+}
+
+func loopReacquire(s *store, k int) { // clean: lock and unlock balance per iteration
+	for i := 0; i < k; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+func distinctReceivers(a, b *store) { // clean: a.mu and b.mu are different keys
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,86 @@
+// Package nanflowfix exercises the nanflow rule: a float produced by an
+// unguarded division (or an unproven math call) that reaches an ordered
+// comparison or an error-budget accumulator is flagged at the producer.
+// Divisions with provably-nonzero denominators, values the function
+// explicitly NaN-checks, and taint killed by reassignment stay clean.
+package nanflowfix
+
+import "math"
+
+type level struct {
+	Budget float64
+}
+
+func unguardedToComparison(a, b float64) bool {
+	r := a / b // WANT nanflow
+	return r > 0.5
+}
+
+func guardedByBailout(a, b float64) bool { // clean: zero denominator bailed out
+	if b == 0 {
+		return false
+	}
+	r := a / b
+	return r > 0.5
+}
+
+func guardedByBranch(a, b float64) bool { // clean: division dominated by b != 0
+	if b != 0 {
+		return a/b > 0.5
+	}
+	return false
+}
+
+func constantDenominator(a float64) bool { // clean: the denominator cannot be zero
+	return a/3 > 0.5
+}
+
+func conversionGuard(sum float64, n int) bool { // clean: guard seen through float64(n)
+	if n == 0 {
+		return false
+	}
+	return sum/float64(n) > 0.5
+}
+
+func checkedVariable(a, b float64) bool { // clean: the function has a NaN story for r
+	r := a / b
+	if math.IsNaN(r) {
+		return false
+	}
+	return r > 0.5
+}
+
+func taintDiesOnReassign(a, b float64) bool { // clean: r is overwritten before the sink
+	r := a / b
+	r = 1
+	return r > 0.5
+}
+
+func noSinkNoFinding(a, b float64) float64 { // clean: never compared or accumulated
+	return a / b
+}
+
+func budgetAccumulator(l *level, pred, slack float64) {
+	e := pred / slack // WANT nanflow
+	l.Budget += e
+}
+
+func flowsThroughAbs(a, b float64) bool {
+	d := a / b // WANT nanflow
+	return math.Abs(d) > 1e-9
+}
+
+func taintThroughArithmetic(a, b, c float64) bool {
+	d := a / b // WANT nanflow
+	e := d + c
+	return e > 0
+}
+
+func unprovenSqrt(x float64) bool {
+	r := math.Sqrt(x) // WANT mathdomain nanflow
+	return r > 2
+}
+
+func floorGuard(num, den float64) bool { // clean: math.Max floors the denominator
+	return num/math.Max(1e-12, den) > 0.5
+}

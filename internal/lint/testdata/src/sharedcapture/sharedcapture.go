@@ -1,0 +1,76 @@
+// Package sharedcapturefix exercises the sharedcapture rule: closures
+// that run concurrently (a `go` statement, or a worker body handed to a
+// sched launcher) while sharing a mutable local with other code. Go 1.22
+// loop variables are per-iteration and stay clean; variables declared
+// OUTSIDE the loop and mutated inside it still race.
+package sharedcapturefix
+
+import "treecode/internal/sched"
+
+func sink(int) {}
+
+func loopVarIsPerIteration(n int) { // clean under Go 1.22 semantics
+	for i := 0; i < n; i++ {
+		go func() {
+			sink(i)
+		}()
+	}
+}
+
+func outerVarMutatedInLoop(n int) {
+	j := 0
+	for i := 0; i < n; i++ {
+		go func() {
+			sink(j) // WANT sharedcapture
+		}()
+		j++
+	}
+}
+
+func writeAfterLaunch() {
+	x := 1
+	go func() {
+		sink(x) // WANT sharedcapture
+	}()
+	x = 2
+	sink(x)
+}
+
+func rebindBeforeLaunch(n int) { // clean: the classic x := x rebinding
+	x := 0
+	for i := 0; i < n; i++ {
+		x = i
+		x := x
+		go func() {
+			sink(x)
+		}()
+	}
+}
+
+func argumentPassing(n int) { // clean: the value travels as a parameter
+	x := 0
+	for i := 0; i < n; i++ {
+		x = i
+		go func(v int) {
+			sink(v)
+		}(x)
+	}
+}
+
+func workerWritesShared(items []float64) float64 {
+	var total float64
+	sched.Run(len(items), 0, func(id int, next func() (int, bool)) {
+		for i, ok := next(); ok; i, ok = next() {
+			total += items[i] // WANT sharedcapture
+		}
+	})
+	return total
+}
+
+func workerShardedWrites(items []float64, shards []float64) { // clean: disjoint element writes
+	sched.Run(len(items), 0, func(id int, next func() (int, bool)) {
+		for i, ok := next(); ok; i, ok = next() {
+			shards[id] += items[i]
+		}
+	})
+}

@@ -3,6 +3,8 @@
 // itself a finding and silences nothing.
 package suppressfix
 
+import "sync"
+
 func eqWithReason(a, b float64) bool {
 	return a == b //lint:ignore floatcmp fixture: documented exact comparison
 }
@@ -15,4 +17,17 @@ func eqNextLine(a, b float64) bool {
 
 func eqMissingReason(a, b float64) bool {
 	return a == b //lint:ignore floatcmp
+}
+
+// Suppressions work for the CFG-based rules too: this leak is the
+// documented handoff pattern (the caller unlocks).
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockAndHandOff(g *guarded) *guarded {
+	//lint:ignore lockbalance fixture: ownership transfers to the caller, which unlocks
+	g.mu.Lock()
+	return g
 }

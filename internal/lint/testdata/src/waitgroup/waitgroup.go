@@ -1,0 +1,65 @@
+// Package waitgroupfix exercises the waitgroup rule: Add must
+// happen-before the goroutine it accounts for (not inside it), Add must
+// not be reachable after Wait within one pass through the function, and
+// constant-negative Add is flagged. Per-iteration Add/Wait reuse inside a
+// loop is recognized via the CFG back edge and stays clean.
+package waitgroupfix
+
+import "sync"
+
+func addBeforeGo(n int) { // clean: the canonical protocol
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // WANT waitgroup
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func innerWaitGroupIsFine() { // clean: the inner wg is closure-local protocol
+	var outer sync.WaitGroup
+	outer.Add(1)
+	go func() {
+		defer outer.Done()
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() { inner.Done() }()
+		inner.Wait()
+	}()
+	outer.Wait()
+}
+
+func addAfterWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+	wg.Add(1) // WANT waitgroup
+	go func() { wg.Done() }()
+	wg.Wait()
+}
+
+func reusePerIteration(rounds int) { // clean: Add after Wait only via the back edge
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func() { wg.Done() }()
+		wg.Wait()
+	}
+}
+
+func negativeAdd() {
+	var wg sync.WaitGroup
+	wg.Add(-1) // WANT waitgroup
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// WaitGroup checks sync.WaitGroup protocol violations that the race
+// detector only catches when the bad interleaving actually fires:
+//
+//   - Add called inside the goroutine it accounts for: `go func() {
+//     wg.Add(1); ...; wg.Done() }()` races with Wait — the launcher can
+//     reach Wait before the goroutine runs Add, and Wait returns early.
+//     Add must happen-before the `go` statement.
+//   - Add reachable after Wait on the same WaitGroup without an
+//     intervening loop restart: once Wait has returned, a later Add on
+//     the same path races with any other waiter. Reuse across loop
+//     iterations (Add/Wait per iteration) is recognized via the CFG's
+//     back-edge classification and not reported.
+//   - Add with a negative constant (undefined unless balancing, which
+//     deserves an explicit suppression).
+//
+// Add/Done balance across functions (Add in the launcher, Done in the
+// worker) is a deliberately out-of-scope interprocedural property; the
+// per-goroutine `defer wg.Done()` convention plus the race-detector CI
+// step cover it.
+var WaitGroup = &Analyzer{
+	Name: "waitgroup",
+	Doc:  "flags WaitGroup misuse: Add inside the waited goroutine, Add after Wait, negative Add",
+	Run:  runWaitGroup,
+}
+
+func runWaitGroup(p *Pass) {
+	for _, file := range p.Files {
+		if p.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, fb := range collectFuncBodies(file) {
+			checkWaitGroupFunc(p, fb)
+		}
+	}
+}
+
+// wgCall resolves a call to Add/Done/Wait on a sync.WaitGroup, returning
+// the rendered receiver key and the method name.
+func wgCall(p *Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, selOk := call.Fun.(*ast.SelectorExpr)
+	if !selOk {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	if name != "Add" && name != "Done" && name != "Wait" {
+		return "", "", false
+	}
+	fn, fnOk := p.Info.ObjectOf(sel.Sel).(*types.Func)
+	if !fnOk || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rt := recv.Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	if named, isNamed := rt.(*types.Named); !isNamed || named.Obj().Name() != "WaitGroup" {
+		return "", "", false
+	}
+	return render(sel.X), name, true
+}
+
+func checkWaitGroupFunc(p *Pass, fb funcBody) {
+	hasWG := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if hasWG {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, ok := wgCall(p, call); ok {
+				hasWG = true
+			}
+		}
+		return true
+	})
+	if !hasWG {
+		return
+	}
+
+	checkAddInsideGoroutine(p, fb)
+	checkNegativeAdd(p, fb)
+	checkAddAfterWait(p, fb)
+}
+
+// checkAddInsideGoroutine flags wg.Add calls inside a `go` closure when
+// the WaitGroup is declared outside that closure (an inner, closure-local
+// WaitGroup is its own protocol and exempt).
+func checkAddInsideGoroutine(p *Pass, fb funcBody) {
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, method, ok := wgCall(p, call)
+			if !ok || method != "Add" {
+				return true
+			}
+			if declaredWithin(p, call.Fun.(*ast.SelectorExpr).X, lit.Pos(), lit.End()) {
+				return true
+			}
+			p.Report(call.Pos(),
+				"%s.Add inside the goroutine it accounts for; Wait can return before this runs — call Add before the go statement", key)
+			return true
+		})
+		return true
+	})
+}
+
+// declaredWithin reports whether the root identifier of expr refers to an
+// object declared inside [lo, hi) — used to exempt closure-local state.
+func declaredWithin(p *Pass, expr ast.Expr, lo, hi token.Pos) bool {
+	root := rootIdent(expr)
+	if root == nil {
+		return false
+	}
+	obj := p.Info.ObjectOf(root)
+	return obj != nil && obj.Pos() >= lo && obj.Pos() < hi
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (x in x.y.z or x[i].y), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func checkNegativeAdd(p *Pass, fb funcBody) {
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := wgCall(p, call)
+		if !ok || method != "Add" || len(call.Args) != 1 {
+			return true
+		}
+		if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+			if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok && v < 0 {
+				p.Report(call.Pos(), "%s.Add(%d) with a negative count; use Done or an explicit suppression for deliberate rebalancing", key, v)
+			}
+		}
+		return true
+	})
+}
+
+// checkAddAfterWait reports Add calls reachable from a Wait on the same
+// WaitGroup without traversing a loop back edge: within one pass through
+// the function, adding after waiting races with the waiter.
+func checkAddAfterWait(p *Pass, fb funcBody) {
+	cfg := BuildCFG(fb.body)
+
+	type site struct {
+		block *Block
+		order int // node index within the block
+		pos   token.Pos
+	}
+	waits := make(map[string][]site)
+	adds := make(map[string][]site)
+	for _, b := range cfg.ReversePostorder() {
+		for i, n := range b.Nodes {
+			// A deferred Wait/Add runs at return, not at its source
+			// position; the source-order reachability below would be wrong
+			// for it, so skip defers entirely here.
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			walkNode(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				key, method, ok := wgCall(p, call)
+				if !ok {
+					return true
+				}
+				s := site{block: b, order: i, pos: call.Pos()}
+				switch method {
+				case "Wait":
+					waits[key] = append(waits[key], s)
+				case "Add":
+					adds[key] = append(adds[key], s)
+				}
+				return true
+			})
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for key, ws := range waits {
+		as := adds[key]
+		if len(as) == 0 {
+			continue
+		}
+		for _, w := range ws {
+			reach := cfg.ReachableFrom(w.block, true)
+			for _, a := range as {
+				if reported[a.pos] {
+					continue
+				}
+				sameBlockLater := a.block == w.block && a.order > w.order
+				if sameBlockLater || reach[a.block.Index] {
+					reported[a.pos] = true
+					p.Report(a.pos, "%s.Add reachable after %s.Wait on the same path; a waiter may already have returned", key, key)
+				}
+			}
+		}
+	}
+}

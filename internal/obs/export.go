@@ -87,7 +87,7 @@ func (c *Collector) Snapshot() Snapshot {
 // "-" means stdout), using the drivers' shared buffered-output helper so
 // write errors are not dropped. Nil-safe: a nil collector writes an empty
 // snapshot.
-func WriteJSON(c *Collector, path string) error {
+func WriteJSON(c *Collector, path string) (err error) {
 	if path == "-" {
 		path = ""
 	}
@@ -95,16 +95,15 @@ func WriteJSON(c *Collector, path string) error {
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err != nil {
+			err = fmt.Errorf("obs: writing %s: %w", w.Name(), err)
+		}
+	}()
+	defer cliio.CloseChecked(&err, w)
 	enc := json.NewEncoder(w.W)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(c.Snapshot()); err != nil {
-		_ = w.Close()
-		return err
-	}
-	if err := w.Close(); err != nil {
-		return fmt.Errorf("obs: writing %s: %w", w.Name(), err)
-	}
-	return nil
+	return enc.Encode(c.Snapshot())
 }
 
 // published maps expvar names to their current collector. The indirection

@@ -231,6 +231,9 @@ func SimulateTraced(e *core.Evaluator, procs, w int, sched Schedule, model CostM
 // placeChunks returns the owning processor of every chunk.
 func placeChunks(profiles []chunkProfile, procs int, sched Schedule) []int {
 	owner := make([]int, len(profiles))
+	if procs <= 0 {
+		return owner // degenerate caller: everything on processor 0
+	}
 	switch sched {
 	case Dynamic:
 		// Least-loaded processor takes the next chunk (arrival order, which

@@ -197,8 +197,13 @@ func plummerPoint(rng *rand.Rand) vec.V3 {
 			continue // m = 0 would put the sample at r = 0 with infinite density weight
 		}
 		// m in (0,1) makes m^(-2/3) >= 1; the clamp guards the boundary
-		// case where the subtraction rounds negative.
-		r := scale / math.Sqrt(math.Max(0, math.Pow(m, -2.0/3.0)-1))
+		// case where the subtraction rounds negative. A zero denominator
+		// (m rounding to 1) would put the sample at infinity — resample.
+		den := math.Sqrt(math.Max(0, math.Pow(m, -2.0/3.0)-1))
+		if den == 0 {
+			continue
+		}
+		r := scale / den
 		if r > 0.45 {
 			continue
 		}
