@@ -10,7 +10,8 @@
 // rejects, opening ratios), the degree histogram, the Theorem 2 predicted
 // error budget per level against the realized truncation error, the
 // end-to-end error against the direct O(n^2) sum, and the phase-span tree
-// are all printed; -obsjson FILE additionally exports the raw trace.
+// are all printed; -obsjson FILE additionally exports the raw trace and
+// -obsaddr serves the live snapshot, /metrics, expvar, and pprof.
 package main
 
 import (
@@ -19,9 +20,9 @@ import (
 	"os"
 
 	"treecode/internal/analyze"
+	"treecode/internal/cliio"
 	"treecode/internal/core"
 	"treecode/internal/direct"
-	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/stats"
 )
@@ -36,7 +37,7 @@ func main() {
 	stride := flag.Int("stride", 37, "profile every stride-th particle")
 	seed := flag.Int64("seed", 1, "seed")
 	obsOn := flag.Bool("obs", false, "instrument the run: MAC census, error budget, span tree")
-	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout; implies -obs)")
+	ob := cliio.ObsFlagVars()
 	flag.Parse()
 
 	m := core.Original
@@ -49,11 +50,13 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := core.Config{Method: m, Eval: ev, Degree: *degree, Alpha: *alpha}
-	var col *obs.Collector // nil keeps the evaluator uninstrumented
-	if *obsOn || *obsJSON != "" {
-		col = obs.New()
-		cfg.Obs = col
+	ob.Force = *obsOn // -obs prints the census even without an export flag
+	col, err := ob.Start("treecode.analyze")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	cfg.Obs = col
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -117,10 +120,8 @@ func main() {
 	fmt.Println("phase spans:")
 	fmt.Print(col.RenderSpans())
 
-	if *obsJSON != "" {
-		if err := obs.WriteJSON(col, *obsJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "analyze: writing obs trace: %v\n", err)
-			os.Exit(1)
-		}
+	if err := ob.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: writing obs trace: %v\n", err)
+		os.Exit(1)
 	}
 }

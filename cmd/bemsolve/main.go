@@ -12,10 +12,10 @@ import (
 	"time"
 
 	"treecode/internal/bem"
+	"treecode/internal/cliio"
 	"treecode/internal/core"
 	"treecode/internal/krylov"
 	"treecode/internal/mesh"
-	"treecode/internal/obs"
 	"treecode/internal/stats"
 	"treecode/internal/vec"
 )
@@ -30,16 +30,17 @@ func main() {
 	restart := flag.Int("restart", 10, "GMRES restart (paper: 10)")
 	precond := flag.Bool("precond", false, "use the near-field block-Jacobi preconditioner")
 	blockSize := flag.Int("block", 48, "preconditioner block size")
-	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
+	ob := cliio.ObsFlagVars()
 	flag.Parse()
 
 	if err := (core.Config{Degree: *degree, Alpha: *alpha}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	var col *obs.Collector // nil keeps the operator uninstrumented
-	if *obsJSON != "" {
-		col = obs.New()
+	col, err := ob.Start("treecode.bemsolve")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	var m *mesh.Mesh
@@ -99,11 +100,9 @@ func main() {
 		fmt.Printf("analytic capacitance of the unit sphere: 1.00000 (error %.2f%%)\n",
 			100*absf(q-1))
 	}
-	if *obsJSON != "" {
-		if err := obs.WriteJSON(col, *obsJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "bemsolve: writing obs trace: %v\n", err)
-			os.Exit(1)
-		}
+	if err := ob.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "bemsolve: writing obs trace: %v\n", err)
+		os.Exit(1)
 	}
 }
 

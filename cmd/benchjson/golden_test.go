@@ -6,15 +6,18 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"treecode/internal/benchfmt"
 )
 
 // TestCheckedInBenchDocument validates the repo-root BENCH_treecode.json
 // against the current schema: the document must parse into doc without
-// unknown-field drift, carry the v3 schema tag, and its steps section must
-// show the persistent engine earning its keep — the 100k cell refits
-// without falling back, spends less tree-construction time than the
-// rebuild-every policy, and stays within its Theorem 2 budget. Parse-only
-// (no benchmarks re-run), so it is safe in the tier-1 suite.
+// unknown-field drift, carry the v4 schema tag, embed the per-step obs
+// time series, and its steps section must show the persistent engine
+// earning its keep — the 100k cell refits without falling back, spends
+// less tree-construction time than the rebuild-every policy, and stays
+// within its Theorem 2 budget. Parse-only (no benchmarks re-run), so it is
+// safe in the tier-1 suite.
 func TestCheckedInBenchDocument(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_treecode.json"))
 	if err != nil {
@@ -26,8 +29,8 @@ func TestCheckedInBenchDocument(t *testing.T) {
 	if err := dec.Decode(&d); err != nil {
 		t.Fatalf("BENCH_treecode.json does not match the doc schema: %v", err)
 	}
-	if d.Schema != "treecode-bench/v3" {
-		t.Fatalf("schema = %q, want treecode-bench/v3", d.Schema)
+	if d.Schema != benchfmt.Schema {
+		t.Fatalf("schema = %q, want %s", d.Schema, benchfmt.Schema)
 	}
 	if len(d.Results) == 0 || len(d.Pairs) == 0 || len(d.Builds) == 0 {
 		t.Fatalf("document incomplete: %d results, %d pairs, %d builds",
@@ -41,6 +44,36 @@ func TestCheckedInBenchDocument(t *testing.T) {
 	for _, s := range d.Steps {
 		if s.ConstructMS < 0 || s.MomentsMS < 0 || s.TotalMS <= 0 {
 			t.Errorf("steps[%s n=%d w=%d]: non-positive timings %+v", s.Policy, s.N, s.Workers, s)
+		}
+		// v4: every steps entry embeds its per-step time series.
+		if len(s.Samples) != s.Steps {
+			t.Errorf("steps[%s n=%d w=%d]: %d samples for %d steps",
+				s.Policy, s.N, s.Workers, len(s.Samples), s.Steps)
+		}
+		if s.Rollup.Steps != int64(s.Steps) {
+			t.Errorf("steps[%s n=%d w=%d]: rollup covers %d steps, want %d",
+				s.Policy, s.N, s.Workers, s.Rollup.Steps, s.Steps)
+		}
+		for i, sm := range s.Samples {
+			if sm.WallNS <= 0 || sm.EvalNS <= 0 {
+				t.Errorf("steps[%s n=%d w=%d] sample %d: non-positive timings %+v",
+					s.Policy, s.N, s.Workers, i, sm)
+			}
+			if sm.BudgetPred <= 0 || sm.BudgetReal <= 0 {
+				t.Errorf("steps[%s n=%d w=%d] sample %d: missing Theorem 2 budgets %+v",
+					s.Policy, s.N, s.Workers, i, sm)
+			}
+			want := "refit"
+			if i == 0 || s.Policy == "every" {
+				want = "build"
+			}
+			if s.Policy == "auto" && s.Rebuilds > 0 {
+				continue // fallback steps may report "full"
+			}
+			if sm.RefitKind != want {
+				t.Errorf("steps[%s n=%d w=%d] sample %d: kind %q, want %q",
+					s.Policy, s.N, s.Workers, i, sm.RefitKind, want)
+			}
 		}
 		switch s.Policy {
 		case "every":

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"treecode/internal/benchfmt"
 	"treecode/internal/cliio"
 	"treecode/internal/core"
 	"treecode/internal/direct"
@@ -49,117 +50,16 @@ import (
 	"treecode/internal/vec"
 )
 
-type result struct {
-	Dist      string  `json:"dist"`
-	N         int     `json:"n"`
-	Mode      string  `json:"mode"`
-	Workers   int     `json:"workers"`
-	BuildMS   float64 `json:"build_ms"`
-	EvalMS    float64 `json:"eval_ms"` // best of -reps
-	Terms     int64   `json:"terms"`
-	PC        int64   `json:"pc"`
-	PP        int64   `json:"pp"`
-	MaxDegree int     `json:"max_degree"`
-	BoundSum  float64 `json:"bound_sum"`
-	// RelErrDirect is the relative 2-norm error against direct summation,
-	// present only when n <= -maxdirect.
-	RelErrDirect *float64 `json:"rel_err_direct,omitempty"`
-}
-
-type pair struct {
-	Dist       string  `json:"dist"`
-	N          int     `json:"n"`
-	Workers    int     `json:"workers"`
-	Speedup    float64 `json:"speedup_batched_over_walk"`
-	RelDrift   float64 `json:"rel_drift_batched_vs_walk"`
-	WalkMS     float64 `json:"walk_eval_ms"`
-	BatchedMS  float64 `json:"batched_eval_ms"`
-	BoundRatio float64 `json:"bound_sum_ratio"` // batched/walk; 1 up to roundoff
-}
-
-// buildResult records the construction-pipeline phase timings of one
-// (dist, n, tree, workers) cell: the obs spans of core.New (tree build,
-// degree selection, upward pass) plus one identity SetCharges (the
-// per-GMRES-iteration recharge cost). Best of -reps runs by total.
-type buildResult struct {
-	Dist             string  `json:"dist"`
-	N                int     `json:"n"`
-	Tree             string  `json:"tree"` // recursive or morton
-	Workers          int     `json:"workers"`
-	TreeMS           float64 `json:"tree_ms"`
-	DegreesMS        float64 `json:"degrees_ms"`
-	UpwardMS         float64 `json:"upward_ms"`
-	RechargeMS       float64 `json:"recharge_ms"`
-	RechargeStatsMS  float64 `json:"recharge_stats_ms"`
-	RechargeUpwardMS float64 `json:"recharge_upward_ms"`
-	TotalMS          float64 `json:"total_ms"` // tree + degrees + upward
-}
-
-// stepResult records one rebuild policy's cost over a leapfrog run: total
-// wall clock, split into the tree-construction share (sort + degree
-// selection under every; incremental maintenance under auto) and the
-// moment share (the upward pass — paid in full by both policies, since
-// every particle moves every step), plus the persistent engine's
-// maintenance counters.
-type stepResult struct {
-	Dist               string  `json:"dist"`
-	N                  int     `json:"n"`
-	Workers            int     `json:"workers"`
-	Steps              int     `json:"steps"`
-	Dt                 float64 `json:"dt"`
-	Policy             string  `json:"policy"` // auto or every
-	ConstructMS        float64 `json:"construct_ms"`
-	MomentsMS          float64 `json:"moments_ms"`
-	TotalMS            float64 `json:"total_ms"`
-	Builds             int     `json:"builds"` // core/build span count
-	Refits             int64   `json:"refits"`
-	Rebuilds           int64   `json:"rebuilds"`
-	Migrants           int64   `json:"migrants"`
-	Splits             int64   `json:"splits"`
-	Merges             int64   `json:"merges"`
-	RadiusInflationMax float64 `json:"radius_inflation_max"`
-}
-
-// stepPair compares the two policies on one (dist, n, workers) cell.
-type stepPair struct {
-	Dist    string  `json:"dist"`
-	N       int     `json:"n"`
-	Workers int     `json:"workers"`
-	Steps   int     `json:"steps"`
-	Dt      float64 `json:"dt"`
-	// ConstructSpeedup is every's tree-construction time over auto's: how
-	// much cheaper the persistent engine's incremental maintenance is than
-	// sorting a fresh octree per force evaluation. Moment computation is
-	// excluded on both sides — it is identical work for both policies.
-	ConstructSpeedup float64 `json:"construct_speedup_auto"`
-	// RefitPhiDrift is the relative 2-norm gap between the refit engine's
-	// potentials and a fresh build at the same final positions;
-	// RefitPhiBound is the corresponding Theorem 2 budget (both
-	// evaluators' bound sums over the fresh potentials' 2-norm). Drift
-	// within the budget is the refit correctness criterion.
-	RefitPhiDrift float64 `json:"refit_phi_drift"`
-	RefitPhiBound float64 `json:"refit_phi_bound"`
-	// TrajDrift is the RMS position gap between the auto and every
-	// trajectories after the run, over the RMS position magnitude.
-	TrajDrift float64 `json:"traj_drift"`
-}
-
-type doc struct {
-	Schema     string        `json:"schema"`
-	Go         string        `json:"go"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Timestamp  string        `json:"timestamp"`
-	Method     string        `json:"method"`
-	Alpha      float64       `json:"alpha"`
-	Degree     int           `json:"degree"`
-	Reps       int           `json:"reps"`
-	Seed       int64         `json:"seed"`
-	Results    []result      `json:"results"`
-	Pairs      []pair        `json:"pairs"`
-	Builds     []buildResult `json:"builds"`
-	Steps      []stepResult  `json:"steps,omitempty"`
-	StepPairs  []stepPair    `json:"step_pairs,omitempty"`
-}
+// The document types live in internal/benchfmt (shared with cmd/obsreport);
+// the aliases keep this file reading naturally.
+type (
+	result      = benchfmt.Result
+	pair        = benchfmt.Pair
+	buildResult = benchfmt.BuildResult
+	stepResult  = benchfmt.StepResult
+	stepPair    = benchfmt.StepPair
+	doc         = benchfmt.Doc
+)
 
 // spanMS returns the duration in ms of the first span matching path (a
 // top-level name followed by child names), or 0 when absent.
@@ -242,6 +142,9 @@ func runSteps(dist string, n, workers, steps int, dt float64, seed int64, base c
 	sr.Refits, sr.Rebuilds = r.Refits, r.Rebuilds
 	sr.Migrants, sr.Splits, sr.Merges = r.Migrants, r.Splits, r.Merges
 	sr.RadiusInflationMax = r.RadiusInflationMax
+	sr.Samples = col.StepSamples()
+	sr.Rollup = col.SeriesRollup()
+	sr.Journal = col.Events()
 	return sr, s, nil
 }
 
@@ -365,7 +268,7 @@ func main() {
 	}
 
 	d := doc{
-		Schema:     "treecode-bench/v3",
+		Schema:     benchfmt.Schema,
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),

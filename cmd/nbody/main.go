@@ -9,9 +9,9 @@ import (
 	"fmt"
 	"os"
 
+	"treecode/internal/cliio"
 	"treecode/internal/core"
 	"treecode/internal/direct"
-	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/sim"
 	"treecode/internal/stats"
@@ -32,8 +32,7 @@ func main() {
 	steps := flag.Int("steps", 0, "leapfrog steps to advance (0 = potentials only)")
 	dt := flag.Float64("dt", 1e-3, "timestep for -steps")
 	rebuild := flag.String("rebuild", "auto", "evaluator lifecycle across steps: auto (persistent engine, incremental refits) | every (fresh build per force evaluation)")
-	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
-	obsAddr := flag.String("obsaddr", "", "serve expvar and pprof on this localhost address (e.g. 127.0.0.1:0)")
+	ob := cliio.ObsFlagVars()
 	flag.Parse()
 
 	m := core.Original
@@ -45,19 +44,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	var col *obs.Collector // nil keeps the evaluator uninstrumented
-	if *obsJSON != "" || *obsAddr != "" {
-		col = obs.New()
-	}
-	if *obsAddr != "" {
-		col.Publish("treecode.nbody")
-		srv, addr, err := obs.Serve(*obsAddr, col)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer func() { _ = srv.Close() }()
-		fmt.Fprintf(os.Stderr, "obs: serving expvar and pprof on http://%s\n", addr)
+	col, err := ob.Start("treecode.nbody")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	cfg := core.Config{Method: m, Eval: ev, Degree: *degree, Alpha: *alpha, LeafCap: *leafCap, Workers: *workers, Obs: col}
 	if err := cfg.Validate(); err != nil {
@@ -99,7 +89,7 @@ func main() {
 					r.Updates, r.Refits, r.Rebuilds, r.Migrants, r.Splits, r.Merges, r.RadiusInflationMax)
 			}
 		}
-		writeObs(col, *obsJSON)
+		finishObs(ob)
 		return
 	}
 
@@ -122,15 +112,12 @@ func main() {
 		fmt.Printf("relative 2-norm error vs direct: %s\n",
 			stats.FormatFloat(stats.RelErr2(phi, exact)))
 	}
-	writeObs(col, *obsJSON)
+	finishObs(ob)
 }
 
-// writeObs exports the obs trace when a path was requested (no-op otherwise).
-func writeObs(col *obs.Collector, path string) {
-	if path == "" {
-		return
-	}
-	if err := obs.WriteJSON(col, path); err != nil {
+// finishObs exports the obs trace when -obsjson asked for one.
+func finishObs(ob *cliio.ObsFlags) {
+	if err := ob.Finish(); err != nil {
 		fmt.Fprintf(os.Stderr, "nbody: writing obs trace: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treecode/internal/benchfmt"
+	"treecode/internal/cliio"
+	"treecode/internal/obs"
+)
+
+// sampleDoc builds a small self-consistent benchmark document.
+func sampleDoc() *benchfmt.Doc {
+	relErr := 2.5e-7
+	return &benchfmt.Doc{
+		Schema: benchfmt.Schema, Method: "adaptive", Alpha: 0.5, Degree: 4, Seed: 42,
+		Results: []benchfmt.Result{
+			{Dist: "uniform", N: 10000, Mode: "walk", Workers: 1, EvalMS: 100,
+				Terms: 123456, PC: 2000, PP: 5000, MaxDegree: 7, BoundSum: 1.25, RelErrDirect: &relErr},
+			{Dist: "uniform", N: 10000, Mode: "batched", Workers: 1, EvalMS: 60,
+				Terms: 123456, PC: 2000, PP: 5000, MaxDegree: 7, BoundSum: 1.25, RelErrDirect: &relErr},
+		},
+		Steps: []benchfmt.StepResult{
+			{Dist: "plummer", N: 1000, Workers: 1, Steps: 3, Dt: 1e-4, Policy: "auto",
+				TotalMS: 50, Refits: 3, Migrants: 12,
+				Samples: []obs.StepSample{
+					{Step: 0, RefitKind: "build", WallNS: 2e6, EvalNS: 1e6, BudgetPred: 0.5, BudgetReal: 0.1},
+					{Step: 1, RefitKind: "refit", WallNS: 1e6, EvalNS: 5e5, Migrants: 6, MigrantFrac: 0.006, BudgetPred: 0.25, BudgetReal: 0.05},
+					{Step: 2, RefitKind: "refit", WallNS: 1e6, EvalNS: 5e5, Migrants: 6, MigrantFrac: 0.006, BudgetPred: 0.25, BudgetReal: 0.05},
+				},
+				Rollup:  obs.SeriesRollup{Steps: 3, Builds: 1, Refits: 2},
+				Journal: []obs.Event{{Step: 1, Kind: obs.EventDegreeClamp, Reason: "cap", Value: 2}},
+			},
+		},
+		StepPairs: []benchfmt.StepPair{
+			{Dist: "plummer", N: 1000, Workers: 1, Steps: 3, Dt: 1e-4,
+				ConstructSpeedup: 3, RefitPhiDrift: 1e-6, RefitPhiBound: 1e-4},
+		},
+	}
+}
+
+func TestDiffIdenticalDocumentsClean(t *testing.T) {
+	if regs := diff(sampleDoc(), sampleDoc(), 1.75, 1e-9); len(regs) != 0 {
+		t.Fatalf("identical documents regressed: %v", regs)
+	}
+}
+
+func TestDiffCatchesWallTimeRegression(t *testing.T) {
+	next := sampleDoc()
+	next.Results[0].EvalMS *= 2 // injected 2x slowdown
+	regs := diff(sampleDoc(), next, 1.75, 1e-9)
+	if len(regs) != 1 || !strings.Contains(regs[0], "wall time") {
+		t.Fatalf("2x wall regression not caught: %v", regs)
+	}
+	// With wall checks disabled (cross-machine mode) it must pass.
+	if regs := diff(sampleDoc(), next, 0, 1e-9); len(regs) != 0 {
+		t.Fatalf("wallfactor 0 still flagged wall time: %v", regs)
+	}
+}
+
+func TestDiffCatchesBudgetViolation(t *testing.T) {
+	next := sampleDoc()
+	next.StepPairs[0].RefitPhiDrift = 10 * next.StepPairs[0].RefitPhiBound
+	// Budget violations gate even with wall checks disabled.
+	regs := diff(sampleDoc(), next, 0, 1e-9)
+	if len(regs) != 1 || !strings.Contains(regs[0], "Theorem 2 budget") {
+		t.Fatalf("budget violation not caught: %v", regs)
+	}
+}
+
+func TestDiffCatchesCounterDrift(t *testing.T) {
+	next := sampleDoc()
+	next.Results[1].Terms += 1000
+	next.Steps[0].Rebuilds = 1
+	regs := diff(sampleDoc(), next, 0, 1e-9)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 counter regressions, got: %v", regs)
+	}
+	// Counters are machine-independent only for identical configurations:
+	// a different seed must disable the exact checks instead of flagging.
+	next.Seed = 43
+	if regs := diff(sampleDoc(), next, 0, 1e-9); len(regs) != 0 {
+		t.Fatalf("seed-mismatched diff still gated counters: %v", regs)
+	}
+}
+
+func TestDiffVacuousWhenNoCellsMatch(t *testing.T) {
+	next := sampleDoc()
+	for i := range next.Results {
+		next.Results[i].N = 777
+	}
+	next.Steps[0].N = 777
+	next.StepPairs = nil
+	regs := diff(sampleDoc(), next, 1.75, 1e-9)
+	if len(regs) != 1 || !strings.Contains(regs[0], "vacuous") {
+		t.Fatalf("empty intersection must fail loudly: %v", regs)
+	}
+}
+
+func writeDoc(t *testing.T, d *benchfmt.Doc) string {
+	t.Helper()
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderBenchDocument(t *testing.T) {
+	path := writeDoc(t, sampleDoc())
+	out := filepath.Join(t.TempDir(), "report.txt")
+	w, err := cliio.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := render(w, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(raw)
+	for _, want := range []string{
+		"policy=auto", "refit", "budget_pred", "degree-clamp",
+		"construct speedup 3.00x", "rollup: 3 steps (1 build, 2 refit, 0 full",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRenderObsSnapshot(t *testing.T) {
+	c := obs.New()
+	c.AddStepSample(obs.StepSample{RefitKind: "build", WallNS: 1e6, EvalNS: 5e5})
+	c.AddEvent(obs.EventRebuildFallback, "migrant-fraction", 42)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := obs.WriteJSON(c, path); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "report.txt")
+	w, err := cliio.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := render(w, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "rebuild-fallback") || !strings.Contains(string(raw), "build") {
+		t.Fatalf("snapshot report incomplete:\n%s", raw)
+	}
+}
+
+func TestReadDocRejectsForeignJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "foreign.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"something-else/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := benchfmt.ReadDoc(path); err == nil {
+		t.Fatal("foreign schema accepted as a bench document")
+	}
+}

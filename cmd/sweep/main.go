@@ -13,7 +13,6 @@ import (
 	"treecode/internal/cliio"
 	"treecode/internal/core"
 	"treecode/internal/direct"
-	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/stats"
 )
@@ -27,23 +26,13 @@ func main() {
 	unitCharge := flag.Bool("unitcharge", true, "unit charge per particle")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("o", "", "output file (default stdout)")
-	obsJSON := flag.String("obsjson", "", "write the obs trace as JSON to FILE (- for stdout)")
-	obsAddr := flag.String("obsaddr", "", "serve expvar and pprof on this localhost address (e.g. 127.0.0.1:0)")
+	ob := cliio.ObsFlagVars()
 	flag.Parse()
 
-	var col *obs.Collector // nil keeps the evaluators uninstrumented
-	if *obsJSON != "" || *obsAddr != "" {
-		col = obs.New()
-	}
-	if *obsAddr != "" {
-		col.Publish("treecode.sweep")
-		srv, addr, err := obs.Serve(*obsAddr, col)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer func() { _ = srv.Close() }()
-		fmt.Fprintf(os.Stderr, "obs: serving expvar and pprof on http://%s\n", addr)
+	col, err := ob.Start("treecode.sweep")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	degs, alphaVals := splitInts(*degrees), splitFloats(*alphas)
@@ -101,11 +90,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: writing %s: %v\n", w.Name(), err)
 		os.Exit(1)
 	}
-	if *obsJSON != "" {
-		if err := obs.WriteJSON(col, *obsJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: writing obs trace: %v\n", err)
-			os.Exit(1)
-		}
+	if err := ob.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: writing obs trace: %v\n", err)
+		os.Exit(1)
 	}
 }
 

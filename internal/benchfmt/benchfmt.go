@@ -1,0 +1,165 @@
+// Package benchfmt defines the benchmark-trajectory document written by
+// cmd/benchjson (BENCH_treecode.json at the repo root) and read back by
+// cmd/obsreport. The types live in their own package so producers and
+// consumers share one schema; bump Schema whenever a field changes shape
+// or meaning.
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"treecode/internal/obs"
+)
+
+// Schema tags the current document format. v3 added the steps section; v4
+// embeds the per-step obs time series (samples, rollup) and event journal
+// in each steps entry.
+const Schema = "treecode-bench/v4"
+
+// Result is one (distribution, n, workers, eval mode) evaluation cell.
+type Result struct {
+	Dist      string  `json:"dist"`
+	N         int     `json:"n"`
+	Mode      string  `json:"mode"`
+	Workers   int     `json:"workers"`
+	BuildMS   float64 `json:"build_ms"`
+	EvalMS    float64 `json:"eval_ms"` // best of -reps
+	Terms     int64   `json:"terms"`
+	PC        int64   `json:"pc"`
+	PP        int64   `json:"pp"`
+	MaxDegree int     `json:"max_degree"`
+	BoundSum  float64 `json:"bound_sum"`
+	// RelErrDirect is the relative 2-norm error against direct summation,
+	// present only when n <= -maxdirect.
+	RelErrDirect *float64 `json:"rel_err_direct,omitempty"`
+}
+
+// Pair derives the batched-over-walk comparison of one (dist, n, workers)
+// cell.
+type Pair struct {
+	Dist       string  `json:"dist"`
+	N          int     `json:"n"`
+	Workers    int     `json:"workers"`
+	Speedup    float64 `json:"speedup_batched_over_walk"`
+	RelDrift   float64 `json:"rel_drift_batched_vs_walk"`
+	WalkMS     float64 `json:"walk_eval_ms"`
+	BatchedMS  float64 `json:"batched_eval_ms"`
+	BoundRatio float64 `json:"bound_sum_ratio"` // batched/walk; 1 up to roundoff
+}
+
+// BuildResult records the construction-pipeline phase timings of one
+// (dist, n, tree, workers) cell: the obs spans of core.New (tree build,
+// degree selection, upward pass) plus one identity SetCharges (the
+// per-GMRES-iteration recharge cost). Best of -reps runs by total.
+type BuildResult struct {
+	Dist             string  `json:"dist"`
+	N                int     `json:"n"`
+	Tree             string  `json:"tree"` // recursive or morton
+	Workers          int     `json:"workers"`
+	TreeMS           float64 `json:"tree_ms"`
+	DegreesMS        float64 `json:"degrees_ms"`
+	UpwardMS         float64 `json:"upward_ms"`
+	RechargeMS       float64 `json:"recharge_ms"`
+	RechargeStatsMS  float64 `json:"recharge_stats_ms"`
+	RechargeUpwardMS float64 `json:"recharge_upward_ms"`
+	TotalMS          float64 `json:"total_ms"` // tree + degrees + upward
+}
+
+// StepResult records one rebuild policy's cost over a leapfrog run: total
+// wall clock, split into the tree-construction share (sort + degree
+// selection under every; incremental maintenance under auto) and the
+// moment share (the upward pass — paid in full by both policies, since
+// every particle moves every step), plus the persistent engine's
+// maintenance counters and, since v4, the run's per-step obs time series
+// and event journal.
+type StepResult struct {
+	Dist               string  `json:"dist"`
+	N                  int     `json:"n"`
+	Workers            int     `json:"workers"`
+	Steps              int     `json:"steps"`
+	Dt                 float64 `json:"dt"`
+	Policy             string  `json:"policy"` // auto or every
+	ConstructMS        float64 `json:"construct_ms"`
+	MomentsMS          float64 `json:"moments_ms"`
+	TotalMS            float64 `json:"total_ms"`
+	Builds             int     `json:"builds"` // core/build span count
+	Refits             int64   `json:"refits"`
+	Rebuilds           int64   `json:"rebuilds"`
+	Migrants           int64   `json:"migrants"`
+	Splits             int64   `json:"splits"`
+	Merges             int64   `json:"merges"`
+	RadiusInflationMax float64 `json:"radius_inflation_max"`
+
+	// Samples is the run's per-step obs time series (one entry per
+	// leapfrog step), Rollup its whole-run aggregates, and Journal the
+	// structured events (rebuild fallbacks, degree clamps, drift
+	// warnings) the run emitted.
+	Samples []obs.StepSample `json:"samples,omitempty"`
+	Rollup  obs.SeriesRollup `json:"rollup"`
+	Journal []obs.Event      `json:"journal,omitempty"`
+}
+
+// StepPair compares the two policies on one (dist, n, workers) cell.
+type StepPair struct {
+	Dist    string  `json:"dist"`
+	N       int     `json:"n"`
+	Workers int     `json:"workers"`
+	Steps   int     `json:"steps"`
+	Dt      float64 `json:"dt"`
+	// ConstructSpeedup is every's tree-construction time over auto's: how
+	// much cheaper the persistent engine's incremental maintenance is than
+	// sorting a fresh octree per force evaluation. Moment computation is
+	// excluded on both sides — it is identical work for both policies.
+	ConstructSpeedup float64 `json:"construct_speedup_auto"`
+	// RefitPhiDrift is the relative 2-norm gap between the refit engine's
+	// potentials and a fresh build at the same final positions;
+	// RefitPhiBound is the corresponding Theorem 2 budget (both
+	// evaluators' bound sums over the fresh potentials' 2-norm). Drift
+	// within the budget is the refit correctness criterion.
+	RefitPhiDrift float64 `json:"refit_phi_drift"`
+	RefitPhiBound float64 `json:"refit_phi_bound"`
+	// TrajDrift is the RMS position gap between the auto and every
+	// trajectories after the run, over the RMS position magnitude.
+	TrajDrift float64 `json:"traj_drift"`
+}
+
+// Doc is the complete benchmark document.
+type Doc struct {
+	Schema     string        `json:"schema"`
+	Go         string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Timestamp  string        `json:"timestamp"`
+	Method     string        `json:"method"`
+	Alpha      float64       `json:"alpha"`
+	Degree     int           `json:"degree"`
+	Reps       int           `json:"reps"`
+	Seed       int64         `json:"seed"`
+	Results    []Result      `json:"results"`
+	Pairs      []Pair        `json:"pairs"`
+	Builds     []BuildResult `json:"builds"`
+	Steps      []StepResult  `json:"steps,omitempty"`
+	StepPairs  []StepPair    `json:"step_pairs,omitempty"`
+}
+
+// ReadDoc parses a benchmark document from path. It accepts any
+// treecode-bench/* schema (older documents simply lack the newer
+// sections) but rejects documents without the schema prefix, so a stray
+// obs snapshot or unrelated JSON fails loudly instead of diffing as all
+// zeros.
+func ReadDoc(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !bytes.HasPrefix([]byte(d.Schema), []byte("treecode-bench/")) {
+		return nil, fmt.Errorf("%s: schema %q is not a treecode-bench document", path, d.Schema)
+	}
+	return &d, nil
+}

@@ -340,6 +340,7 @@ func (e *Evaluator) Update(pos []vec.V3) (RebuildKind, error) {
 		sp.End()
 		e.Cfg.Obs.AddRefit(obs.RefitMetrics{Updates: 1, Rebuilds: 1,
 			Migrants: int64(st.Migrants), RadiusInflationMax: st.MaxInflation})
+		e.Cfg.Obs.AddEvent(obs.EventRebuildFallback, st.RebuildReason(), float64(st.Migrants))
 		return RebuildFull, e.construct(e.snapshotSet(pos))
 	}
 	if st.Migrants > 0 {
@@ -803,6 +804,7 @@ func (w *worker) acceptM2PField(n *tree.Node, x vec.V3) (float64, vec.V3) {
 	if p > w.stats.MaxDegree {
 		w.stats.MaxDegree = p
 	}
+	w.stats.BoundSum += n.Mp.BoundAt(x, p)
 	if w.shard != nil {
 		w.recordAccept(n, x, p)
 	}

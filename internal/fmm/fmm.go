@@ -203,6 +203,7 @@ func (e *Evaluator) Update(pos []vec.V3) (core.RebuildKind, error) {
 		sp.End()
 		e.Cfg.Obs.AddRefit(obs.RefitMetrics{Updates: 1, Rebuilds: 1,
 			Migrants: int64(st.Migrants), RadiusInflationMax: st.MaxInflation})
+		e.Cfg.Obs.AddEvent(obs.EventRebuildFallback, st.RebuildReason(), float64(st.Migrants))
 		return core.RebuildFull, e.construct(e.snapshotSet(pos))
 	}
 	if st.Migrants > 0 {

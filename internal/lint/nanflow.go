@@ -16,10 +16,13 @@ import (
 //     NaN operand is false, so a NaN acceptance radius silently REJECTS
 //     every MAC test (or accepts, depending on polarity) without any
 //     error signal;
-//   - the observability layer's Theorem 2 error-budget accumulators
-//     (calls into internal/obs and `+= ` into a Budget field): one NaN
-//     poisons the whole per-level budget sum, and the predicted-vs-
-//     realized comparison reads as vacuously consistent.
+//   - the observability layer's Theorem 2 error-budget accumulators:
+//     calls into internal/obs (float arguments, and the float fields of
+//     obs struct arguments such as StepSample/StepInfo) and `+=` into a
+//     budget field (Budget, and the time-series accumulators BudgetPred
+//     and BudgetReal). One NaN poisons the whole per-level budget sum —
+//     or a whole per-step series rollup — and the predicted-vs-realized
+//     comparison reads as vacuously consistent.
 //
 // Sources are float divisions whose denominator is not provably nonzero
 // (constant, or established by a dominating guard such as `if d == 0 {
@@ -372,7 +375,7 @@ func checkNanFlow(p *Pass, fb funcBody) {
 			case *ast.CallExpr:
 				if isObsCall(p, x) {
 					for _, a := range x.Args {
-						if !isFloat(p.TypeOf(a)) {
+						if !isFloat(p.TypeOf(a)) && !isObsStruct(p.TypeOf(a)) {
 							continue
 						}
 						if d, bad := exprTaint(a, st); bad {
@@ -385,7 +388,7 @@ func checkNanFlow(p *Pass, fb funcBody) {
 				}
 			case *ast.AssignStmt:
 				if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
-					if sel, ok := unparen(x.Lhs[0]).(*ast.SelectorExpr); ok && sel.Sel.Name == "Budget" {
+					if sel, ok := unparen(x.Lhs[0]).(*ast.SelectorExpr); ok && isBudgetField(sel.Sel.Name) {
 						if d, bad := exprTaint(x.Rhs[0], st); bad {
 							if _, seen := reports[d.pos]; !seen {
 								reports[d.pos] = fmt.Sprintf(
@@ -534,6 +537,34 @@ func propagatesNaN(p *Pass, call *ast.CallExpr) bool {
 		return true
 	}
 	return false
+}
+
+// isBudgetField reports whether name is one of the error-budget
+// accumulator fields: the per-level Theorem 2 Budget and the per-step
+// time-series BudgetPred/BudgetReal sums.
+func isBudgetField(name string) bool {
+	switch name {
+	case "Budget", "BudgetPred", "BudgetReal":
+		return true
+	}
+	return false
+}
+
+// isObsStruct reports whether t is a struct type defined in internal/obs
+// (StepSample, StepInfo, ...). Such values carry budget fields into the
+// collector, so obs calls taking them are budget sinks: a tainted float
+// anywhere in the composite literal flags the producer.
+func isObsStruct(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || (pkg.Path() != "treecode/internal/obs" && pkg.Name() != "obs") {
+		return false
+	}
+	_, ok = named.Underlying().(*types.Struct)
+	return ok
 }
 
 // isObsCall reports whether call invokes a function or method defined in

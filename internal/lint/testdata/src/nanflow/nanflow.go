@@ -5,10 +5,19 @@
 // explicitly NaN-checks, and taint killed by reassignment stay clean.
 package nanflowfix
 
-import "math"
+import (
+	"math"
+
+	"treecode/internal/obs"
+)
 
 type level struct {
 	Budget float64
+}
+
+type rollup struct {
+	BudgetPred float64
+	BudgetReal float64
 }
 
 func unguardedToComparison(a, b float64) bool {
@@ -63,6 +72,37 @@ func noSinkNoFinding(a, b float64) float64 { // clean: never compared or accumul
 func budgetAccumulator(l *level, pred, slack float64) {
 	e := pred / slack // WANT nanflow
 	l.Budget += e
+}
+
+func timeSeriesPredAccumulator(r *rollup, pred, norm float64) {
+	e := pred / norm // WANT nanflow
+	r.BudgetPred += e
+}
+
+func timeSeriesRealAccumulator(r *rollup, drift, norm float64) {
+	e := drift / norm // WANT nanflow
+	r.BudgetReal += e
+}
+
+func guardedTimeSeriesAccumulator(r *rollup, pred, norm float64) { // clean: nonzero norm dominates
+	if norm == 0 {
+		return
+	}
+	r.BudgetPred += pred / norm
+}
+
+func stepSampleStructArg(c *obs.Collector, pred, slack float64) {
+	e := pred / slack // WANT nanflow
+	c.AddStepSample(obs.StepSample{BudgetPred: e})
+}
+
+func stepInfoStructArg(c *obs.Collector, mk obs.StepMark, bound, norm float64) {
+	b := bound / norm // WANT nanflow
+	c.StepEnd(mk, obs.StepInfo{RefitKind: "refit", BudgetReal: b, N: 1})
+}
+
+func cleanStepSample(c *obs.Collector, wall int64) { // clean: no tainted field
+	c.AddStepSample(obs.StepSample{WallNS: wall})
 }
 
 func flowsThroughAbs(a, b float64) bool {

@@ -1,16 +1,21 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
-
-	"treecode/internal/cliio"
 )
+
+// SnapshotSchema versions the exported trace document. v1 was the
+// unversioned PR 2 format (spans + metrics); v2 adds the schema tag, the
+// per-step time series with rollups, and the event journal.
+const SnapshotSchema = "treecode-obs/v2"
 
 // LevelData is the exported per-level metric row (LevelMetrics plus its
 // level index, so the JSON is self-describing).
@@ -42,11 +47,29 @@ type MetricsData struct {
 	Refit        RefitMetrics     `json:"refit"`
 }
 
-// Snapshot is the full exported state of a collector: the span forest and
-// the merged metrics.
+// SeriesData is the exported per-step time series: the retained window,
+// how many samples it holds vs ever saw, and the whole-run rollups.
+type SeriesData struct {
+	Retention int          `json:"retention"`
+	Rollup    SeriesRollup `json:"rollup"`
+	Samples   []StepSample `json:"samples,omitempty"`
+}
+
+// JournalData is the exported event journal.
+type JournalData struct {
+	Dropped int64            `json:"dropped"`
+	Counts  map[string]int64 `json:"counts,omitempty"` // per kind, including evicted
+	Events  []Event          `json:"events,omitempty"`
+}
+
+// Snapshot is the full exported state of a collector: the span forest, the
+// merged metrics, the per-step time series, and the event journal.
 type Snapshot struct {
+	Schema  string      `json:"schema"`
 	Spans   []SpanData  `json:"spans"`
 	Metrics MetricsData `json:"metrics"`
+	Series  SeriesData  `json:"series"`
+	Journal JournalData `json:"journal"`
 }
 
 // Snapshot exports the collector state. Nil-safe: a nil collector yields
@@ -80,30 +103,67 @@ func (c *Collector) Snapshot() Snapshot {
 			md.DegreeHist[fmt.Sprintf("%d", p)] = n
 		}
 	}
-	return Snapshot{Spans: c.Spans(), Metrics: md}
+	snap := Snapshot{
+		Schema:  SnapshotSchema,
+		Spans:   c.Spans(),
+		Metrics: md,
+		Series: SeriesData{
+			Retention: DefaultRetention,
+			Rollup:    c.SeriesRollup(),
+			Samples:   c.StepSamples(),
+		},
+		Journal: JournalData{
+			Counts: c.EventCounts(),
+			Events: c.Events(),
+		},
+	}
+	if c != nil {
+		c.mu.Lock()
+		if cap(c.series.buf) > 0 {
+			snap.Series.Retention = cap(c.series.buf)
+		}
+		snap.Journal.Dropped = c.journal.dropped
+		c.mu.Unlock()
+	}
+	return snap
 }
 
 // WriteJSON writes the collector snapshot as indented JSON to path ("" or
-// "-" means stdout), using the drivers' shared buffered-output helper so
-// write errors are not dropped. Nil-safe: a nil collector writes an empty
-// snapshot.
+// "-" means stdout), buffering writes and surfacing close/flush errors
+// (deliberately self-contained so command-line helpers may depend on obs
+// without a cycle). Nil-safe: a nil collector writes an empty snapshot.
 func WriteJSON(c *Collector, path string) (err error) {
-	if path == "-" {
-		path = ""
-	}
-	w, err := cliio.Create(path)
-	if err != nil {
-		return err
+	var (
+		f    *os.File
+		name = "stdout"
+	)
+	if path == "" || path == "-" {
+		f = os.Stdout
+	} else {
+		f, err = os.Create(path)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		name = path
 	}
 	defer func() {
 		if err != nil {
-			err = fmt.Errorf("obs: writing %s: %w", w.Name(), err)
+			err = fmt.Errorf("obs: writing %s: %w", name, err)
 		}
 	}()
-	defer cliio.CloseChecked(&err, w)
-	enc := json.NewEncoder(w.W)
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
 	enc.SetIndent("", "  ")
-	return enc.Encode(c.Snapshot())
+	if err := enc.Encode(c.Snapshot()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if f != os.Stdout {
+		return f.Close()
+	}
+	return nil
 }
 
 // published maps expvar names to their current collector. The indirection
@@ -138,6 +198,7 @@ func (c *Collector) Publish(name string) {
 //
 //	/obs          the collector snapshot as JSON
 //	/obs/spans    the human-readable span tree
+//	/metrics      Prometheus text-format exposition of the metrics
 //	/debug/vars   expvar (including anything published via Publish)
 //	/debug/pprof  the standard pprof handlers
 //
@@ -156,6 +217,7 @@ func Serve(addr string, c *Collector) (*http.Server, string, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = fmt.Fprint(w, c.RenderSpans())
 	})
+	mux.Handle("/metrics", PrometheusHandler(c))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

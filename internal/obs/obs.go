@@ -28,9 +28,17 @@
 //     ratio a/r of accepted interactions, the per-level Theorem 2
 //     predicted error budget, and the degree-overflow clamp count.
 //
+//   - Time series: one StepSample per sim step (refit kind, migrants,
+//     radius inflation, predicted vs realized Theorem 2 budget, wall
+//     times, steals, allocations) in a bounded ring buffer with
+//     whole-run mean/max rollups, plus a structured event journal
+//     (rebuild fallbacks, degree clamps, drift warnings) — memory is
+//     O(retention), not O(steps).
+//
 //   - Snapshots: a JSON document of everything above, written to a file
 //     (-obsjson in every driver) or served over localhost HTTP alongside
-//     expvar and net/http/pprof (-obsaddr in cmd/sweep and cmd/nbody).
+//     expvar, net/http/pprof, and a Prometheus text-format /metrics
+//     endpoint (-obsaddr, wired by cliio.ObsFlagVars in the drivers).
 package obs
 
 import (
@@ -46,24 +54,43 @@ type Collector struct {
 	epoch   time.Time
 	roots   []*Span
 	metrics Metrics
+
+	// Longitudinal telemetry: the bounded per-step time series and the
+	// structured event journal (both O(retention) memory), the most
+	// recent per-Update refit record (feeding per-step radius-inflation
+	// attribution), and the step index of the open StepBegin/StepEnd
+	// window (-1 outside one) stamped onto journal events.
+	series    series
+	journal   journal
+	lastRefit RefitMetrics
+	curStep   int64
 }
 
 // New returns an empty enabled collector whose span clock starts now.
 func New() *Collector {
-	return &Collector{epoch: time.Now()}
+	return &Collector{epoch: time.Now(), curStep: -1}
 }
 
 // Enabled reports whether the collector records anything (i.e. is non-nil).
 func (c *Collector) Enabled() bool { return c != nil }
 
 // AddDegreeClamps adds n degree-overflow clamp events (selections limited
-// by the Legendre stability cap) to the metrics. Nil-safe.
+// by the Legendre stability cap) to the metrics, journaling one
+// EventDegreeClamp so the loss of accuracy is attributable to a step.
+// Nil-safe.
 func (c *Collector) AddDegreeClamps(n int64) {
 	if c == nil || n == 0 {
 		return
 	}
 	c.mu.Lock()
 	c.metrics.DegreeClamps += n
+	c.journal.add(Event{
+		TimeNS: time.Since(c.epoch).Nanoseconds(),
+		Step:   c.curStep,
+		Kind:   EventDegreeClamp,
+		Reason: "degree selections limited by the Legendre stability cap",
+		Value:  float64(n),
+	})
 	c.mu.Unlock()
 }
 
@@ -88,6 +115,16 @@ func (c *Collector) AddRefit(r RefitMetrics) {
 	}
 	c.mu.Lock()
 	c.metrics.Refit.add(&r)
+	c.lastRefit = r
+	if r.Refits > 0 && r.RadiusInflationMax > InflationWarnRatio {
+		c.journal.add(Event{
+			TimeNS: time.Since(c.epoch).Nanoseconds(),
+			Step:   c.curStep,
+			Kind:   EventRadiusInflation,
+			Reason: "conservative-radius inflation approaching the drift-policy fallback threshold",
+			Value:  r.RadiusInflationMax,
+		})
+	}
 	c.mu.Unlock()
 }
 

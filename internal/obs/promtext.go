@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4) over the collector's merged metrics, with nothing beyond the
+// standard library. The rules that matter:
+//
+//   - every metric family is announced by "# HELP" and "# TYPE" lines
+//     before any of its samples, and all samples of a family are grouped;
+//   - label values escape backslash, double-quote, and newline;
+//   - counters are cumulative and monotone (we expose the collector's
+//     cumulative counters directly, so successive scrapes never decrease);
+//   - histograms expose cumulative "le" buckets ending in +Inf plus
+//     matching _sum and _count series.
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and line feed.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// fnum renders a sample value: integers without exponent, floats with
+// enough digits to round-trip.
+func fnum(v float64) string {
+	if v == float64(int64(v)) { //lint:ignore floatcmp exact integrality test picks the integer rendering; a tolerance would misprint near-integers
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promWriter accumulates exposition lines, remembering the first write
+// error so call sites stay linear.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) head(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// sample emits one sample line; labels alternate name, value and values are
+// escaped here.
+func (p *promWriter) sample(name string, v float64, labels ...string) {
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, fnum(v))
+		return
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, labels[i], escapeLabel(labels[i+1]))
+	}
+	p.printf("%s{%s} %s\n", name, b.String(), fnum(v))
+}
+
+// WritePrometheus writes the collector's metrics, step-series rollups, and
+// journal counts in the Prometheus text exposition format. Nil-safe: a nil
+// collector exposes every family with zero samples where the family has no
+// labels and omits labeled series.
+func WritePrometheus(w io.Writer, c *Collector) error {
+	m := c.Metrics()
+	p := &promWriter{w: w}
+
+	p.head("treecode_mac_accepts_total", "counter", "MAC acceptances (M2P interactions) per tree level.")
+	perLevel(p, "treecode_mac_accepts_total", m.Levels, func(l *LevelMetrics) float64 { return float64(l.Accepts) })
+	p.head("treecode_mac_rejects_total", "counter", "MAC rejections (node opened or summed directly) per tree level.")
+	perLevel(p, "treecode_mac_rejects_total", m.Levels, func(l *LevelMetrics) float64 { return float64(l.Rejects) })
+	p.head("treecode_m2p_terms_total", "counter", "Multipole series terms evaluated per tree level.")
+	perLevel(p, "treecode_m2p_terms_total", m.Levels, func(l *LevelMetrics) float64 { return float64(l.M2PTerms) })
+	p.head("treecode_pp_pairs_total", "counter", "Direct particle pairs summed per tree level.")
+	perLevel(p, "treecode_pp_pairs_total", m.Levels, func(l *LevelMetrics) float64 { return float64(l.PPPairs) })
+	p.head("treecode_theorem2_budget", "gauge", "Theorem 2 predicted error budget accumulated per tree level.")
+	perLevel(p, "treecode_theorem2_budget", m.Levels, func(l *LevelMetrics) float64 { return l.Budget })
+
+	// The degree census as a histogram: bucket le=p counts interactions
+	// evaluated at degree <= p; the sum counts degree-weighted selections.
+	p.head("treecode_degree_selections", "histogram", "Multipole degree chosen per accepted interaction.")
+	var cum, dsum int64
+	for d, n := range m.DegreeHist {
+		cum += n
+		dsum += int64(d) * n
+		if n != 0 || d == len(m.DegreeHist)-1 {
+			p.sample("treecode_degree_selections_bucket", float64(cum), "le", strconv.Itoa(d))
+		}
+	}
+	p.sample("treecode_degree_selections_bucket", float64(cum), "le", "+Inf")
+	p.sample("treecode_degree_selections_sum", float64(dsum))
+	p.sample("treecode_degree_selections_count", float64(cum))
+
+	p.head("treecode_degree_clamps_total", "counter", "Degree selections clamped at the Legendre stability cap.")
+	p.sample("treecode_degree_clamps_total", float64(m.DegreeClamps))
+
+	p.head("treecode_open_ratio", "gauge", "Opening ratio a/r of accepted interactions (stat label: min, mean, max).")
+	if m.OpenRatio.N > 0 {
+		p.sample("treecode_open_ratio", m.OpenRatio.Min, "stat", "min")
+		p.sample("treecode_open_ratio", m.OpenRatio.Mean(), "stat", "mean")
+		p.sample("treecode_open_ratio", m.OpenRatio.Max, "stat", "max")
+	}
+
+	p.head("treecode_batch_leaf_tasks_total", "counter", "Target leaves processed by the leaf-batched evaluator.")
+	p.sample("treecode_batch_leaf_tasks_total", float64(m.Batch.LeafTasks))
+	p.head("treecode_batch_shared_served_total", "counter", "Particle-interactions served from shared far-field lists.")
+	p.sample("treecode_batch_shared_served_total", float64(m.Batch.SharedServed))
+	p.head("treecode_batch_refine_checks_total", "counter", "Per-particle MAC tests in the conservative-MAC refinement band.")
+	p.sample("treecode_batch_refine_checks_total", float64(m.Batch.RefineChecks))
+	p.head("treecode_steals_total", "counter", "Work-stealing scheduler steal events.")
+	p.sample("treecode_steals_total", float64(m.Batch.Steals))
+
+	p.head("treecode_refit_updates_total", "counter", "Persistent-engine Update outcomes by kind (refit or full rebuild).")
+	p.sample("treecode_refit_updates_total", float64(m.Refit.Refits), "kind", "refit")
+	p.sample("treecode_refit_updates_total", float64(m.Refit.Rebuilds), "kind", "full")
+	p.head("treecode_refit_migrants_total", "counter", "Particles re-bucketed by persistent-engine maintenance.")
+	p.sample("treecode_refit_migrants_total", float64(m.Refit.Migrants))
+	p.head("treecode_refit_radius_inflation_max", "gauge", "Largest conservative-radius inflation ratio any refresh observed.")
+	p.sample("treecode_refit_radius_inflation_max", m.Refit.RadiusInflationMax)
+
+	roll := c.SeriesRollup()
+	p.head("treecode_steps_total", "counter", "Sim steps sampled by the per-step time series, by evaluator lifecycle kind.")
+	p.sample("treecode_steps_total", float64(roll.Builds), "kind", "build")
+	p.sample("treecode_steps_total", float64(roll.Refits), "kind", "refit")
+	p.sample("treecode_steps_total", float64(roll.Rebuilds), "kind", "full")
+	p.head("treecode_step_wall_seconds", "summary", "Whole-step wall time across sampled sim steps.")
+	p.sample("treecode_step_wall_seconds_sum", roll.Wall.Sum/1e9)
+	p.sample("treecode_step_wall_seconds_count", float64(roll.Steps))
+	p.head("treecode_step_eval_seconds", "summary", "Force-evaluation wall time across sampled sim steps.")
+	p.sample("treecode_step_eval_seconds_sum", roll.Eval.Sum/1e9)
+	p.sample("treecode_step_eval_seconds_count", float64(roll.Steps))
+	p.head("treecode_step_allocs_total", "counter", "Heap allocations attributed to sampled sim steps.")
+	p.sample("treecode_step_allocs_total", roll.Allocs.Sum)
+	p.head("treecode_step_budget_pred_total", "counter", "Theorem 2 predicted budget accumulated across sampled steps.")
+	p.sample("treecode_step_budget_pred_total", roll.BudgetPred.Sum)
+	p.head("treecode_step_budget_real_total", "counter", "Realized per-interaction bound sum accumulated across sampled steps.")
+	p.sample("treecode_step_budget_real_total", roll.BudgetReal.Sum)
+
+	p.head("treecode_events_total", "counter", "Structured journal events by kind (includes evicted events).")
+	counts := c.EventCounts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		p.sample("treecode_events_total", float64(counts[k]), "kind", k)
+	}
+	return p.err
+}
+
+// PrometheusHandler serves WritePrometheus over HTTP; Serve mounts it at
+// /metrics. Nil-safe.
+func PrometheusHandler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, c) // best-effort: client may hang up
+	})
+}
+
+// perLevel emits one labeled sample per non-empty tree level.
+func perLevel(p *promWriter, name string, levels []LevelMetrics, f func(*LevelMetrics) float64) {
+	for l := range levels {
+		if levels[l] == (LevelMetrics{}) {
+			continue
+		}
+		p.sample(name, f(&levels[l]), "level", strconv.Itoa(l))
+	}
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseProm is a minimal exposition-format checker: it verifies every
+// sample line belongs to a family whose # HELP and # TYPE lines appeared
+// first, that TYPE values are legal, and returns the samples keyed by
+// "name{labels}".
+func parseProm(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	helps := map[string]bool{}
+	types := map[string]string{}
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("HELP without text: %q", line)
+			}
+			helps[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("TYPE without value: %q", line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("illegal TYPE %q in %q", typ, line)
+			}
+			if !helps[name] {
+				t.Fatalf("TYPE before HELP for %s", name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unrecognized comment line: %q", line)
+		}
+		// A sample: name{labels} value.
+		key := line[:strings.LastIndexByte(line, ' ')]
+		valStr := line[strings.LastIndexByte(line, ' ')+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name = name[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !helps[family] && !helps[name] {
+			t.Fatalf("sample %q before its HELP line", line)
+		}
+		if types[family] == "" && types[name] == "" {
+			t.Fatalf("sample %q before its TYPE line", line)
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func promBody(t *testing.T, c *Collector) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WritePrometheus(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func loadedCollector() *Collector {
+	c := New()
+	sh := c.NewShard()
+	sh.Accept(1, 3, 16, 0.4, 1e-4)
+	sh.Accept(2, 5, 36, 0.6, 2e-4)
+	sh.Reject(1)
+	sh.Direct(3, 12)
+	sh.Merge()
+	c.AddSteals(2)
+	c.AddDegreeClamps(1)
+	c.AddRefit(RefitMetrics{Updates: 1, Refits: 1, Migrants: 3, RadiusInflationMax: 1.2})
+	mk := c.StepBegin()
+	c.StepEnd(mk, StepInfo{RefitKind: "refit", EvalWall: time.Millisecond, BudgetReal: 5e-5, N: 50})
+	return c
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	c := loadedCollector()
+	samples := parseProm(t, promBody(t, c))
+
+	if got := samples[`treecode_mac_accepts_total{level="1"}`]; got != 1 {
+		t.Fatalf("level-1 accepts wrong: %v", got)
+	}
+	if got := samples[`treecode_pp_pairs_total{level="3"}`]; got != 12 {
+		t.Fatalf("level-3 pairs wrong: %v", got)
+	}
+	if got := samples[`treecode_steals_total`]; got != 2 {
+		t.Fatalf("steals wrong: %v", got)
+	}
+	if got := samples[`treecode_refit_updates_total{kind="refit"}`]; got != 1 {
+		t.Fatalf("refit outcome wrong: %v", got)
+	}
+	if got := samples[`treecode_steps_total{kind="refit"}`]; got != 1 {
+		t.Fatalf("step kind wrong: %v", got)
+	}
+	if got := samples[`treecode_events_total{kind="degree-clamp"}`]; got != 1 {
+		t.Fatalf("journal events wrong: %v", got)
+	}
+	if got := samples[`treecode_step_eval_seconds_sum`]; got != 1e-3 {
+		t.Fatalf("eval seconds wrong: %v", got)
+	}
+
+	// Histogram invariants: cumulative buckets, +Inf terminal, count match.
+	var prev float64
+	for le := 0; le <= 5; le++ {
+		key := fmt.Sprintf(`treecode_degree_selections_bucket{le="%d"}`, le)
+		if v, ok := samples[key]; ok {
+			if v < prev {
+				t.Fatalf("bucket %s not cumulative: %v < %v", key, v, prev)
+			}
+			prev = v
+		}
+	}
+	inf := samples[`treecode_degree_selections_bucket{le="+Inf"}`]
+	if inf != 2 || samples[`treecode_degree_selections_count`] != inf {
+		t.Fatalf("histogram terminal bucket/count wrong: inf=%v", inf)
+	}
+	if samples[`treecode_degree_selections_sum`] != 3+5 {
+		t.Fatalf("histogram sum wrong: %v", samples[`treecode_degree_selections_sum`])
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	c := New()
+	c.AddEvent("odd\\kind\"with\nnewline", "why", 1)
+	body := promBody(t, c)
+	want := `treecode_events_total{kind="odd\\kind\"with\nnewline"} 1`
+	if !strings.Contains(body, want) {
+		t.Fatalf("escaped label missing; body:\n%s", body)
+	}
+	if strings.Contains(body, "with\nnewline") {
+		t.Fatal("raw newline leaked into a label value")
+	}
+}
+
+func TestPrometheusCountersMonotone(t *testing.T) {
+	c := loadedCollector()
+	first := parseProm(t, promBody(t, c))
+	// More work between scrapes: every counter must be non-decreasing.
+	sh := c.NewShard()
+	sh.Accept(1, 3, 16, 0.5, 1e-4)
+	sh.Merge()
+	c.AddSteals(1)
+	mk := c.StepBegin()
+	c.StepEnd(mk, StepInfo{RefitKind: "full", N: 50})
+	c.AddEvent(EventRebuildFallback, "migrant-fraction", 10)
+	second := parseProm(t, promBody(t, c))
+	for key, v1 := range first {
+		if !strings.Contains(key, "_total") && !strings.Contains(key, "_bucket") &&
+			!strings.Contains(key, "_count") && !strings.Contains(key, "_sum") {
+			continue // gauges may move freely
+		}
+		v2, ok := second[key]
+		if !ok {
+			t.Fatalf("counter %s disappeared on second scrape", key)
+		}
+		if v2 < v1 {
+			t.Fatalf("counter %s decreased: %v -> %v", key, v1, v2)
+		}
+	}
+}
+
+func TestPrometheusNilCollector(t *testing.T) {
+	var c *Collector
+	samples := parseProm(t, promBody(t, c))
+	if samples[`treecode_degree_clamps_total`] != 0 {
+		t.Fatal("nil collector exposed non-zero counters")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	c := loadedCollector()
+	srv, addr, err := Serve("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("wrong content type: %s", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, string(body))
+	if samples[`treecode_mac_accepts_total{level="1"}`] != 1 {
+		t.Fatalf("served metrics wrong: %v", samples)
+	}
+}

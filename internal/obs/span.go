@@ -145,8 +145,15 @@ func renderSpans(b *strings.Builder, spans []SpanData, depth int) {
 		if s.Running {
 			suffix = " (running)"
 		}
+		// Deep forests (depth >= 18) would drive the pad width negative,
+		// which %-*s treats as an error; clamp so names stay readable at
+		// any nesting depth.
+		width := 36 - 2*depth
+		if width < 1 {
+			width = 1
+		}
 		fmt.Fprintf(b, "%s%-*s %12s%s\n", strings.Repeat("  ", depth),
-			36-2*depth, name, time.Duration(s.DurNS).Round(time.Microsecond), suffix)
+			width, name, time.Duration(s.DurNS).Round(time.Microsecond), suffix)
 		renderSpans(b, s.Children, depth+1)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"treecode/internal/core"
 	"treecode/internal/harmonics"
 	"treecode/internal/multipole"
+	"treecode/internal/obs"
 	"treecode/internal/points"
 	"treecode/internal/tree"
 	"treecode/internal/vec"
@@ -90,6 +91,11 @@ type Simulator struct {
 	// snapshot handed to Update.
 	eng    *core.Evaluator
 	posBuf []vec.V3
+
+	// lastRebuild is what the most recent evaluator() call did — "build"
+	// (fresh construction), "refit", or "full" (drift-policy fallback) —
+	// feeding the per-step obs time series.
+	lastRebuild string
 }
 
 // New validates and wraps the initial state.
@@ -111,6 +117,7 @@ func New(st State, cfg Config) (*Simulator, error) {
 // an incremental Evaluator.Update of the persistent engine otherwise.
 func (s *Simulator) evaluator() (*core.Evaluator, error) {
 	if s.Cfg.Rebuild == RebuildEvery {
+		s.lastRebuild = "build"
 		return core.New(s.State.Set, s.Cfg.Force)
 	}
 	if s.eng == nil {
@@ -119,6 +126,7 @@ func (s *Simulator) evaluator() (*core.Evaluator, error) {
 			return nil, err
 		}
 		s.eng = e
+		s.lastRebuild = "build"
 		return e, nil
 	}
 	ps := s.State.Set.Particles
@@ -129,9 +137,11 @@ func (s *Simulator) evaluator() (*core.Evaluator, error) {
 	for i := range ps {
 		s.posBuf[i] = ps[i].Pos
 	}
-	if _, err := s.eng.Update(s.posBuf); err != nil {
+	kind, err := s.eng.Update(s.posBuf)
+	if err != nil {
 		return nil, err
 	}
+	s.lastRebuild = kind.String()
 	return s.eng, nil
 }
 
@@ -211,14 +221,26 @@ func (s *Simulator) softenedAccel() ([]vec.V3, *core.Stats, error) {
 // previous step's closing acceleration when available (one force
 // evaluation per step instead of two); call InvalidateForces after
 // mutating positions or masses outside Step.
+//
+// When the force configuration carries an obs collector, Step appends one
+// StepSample to its per-step time series — the refit kind and evaluation
+// stats of the closing kick plus the collector's own counter deltas. With
+// obs disabled the mark is the inert zero value and no telemetry code runs.
 func (s *Simulator) Step() error {
+	mark := s.Cfg.Force.Obs.StepBegin()
 	acc := s.acc
+	// kind is the step's evaluator lifecycle for the time series. A step
+	// that pays an opening evaluation (first step, or after
+	// InvalidateForces) reports that kind — the fresh "build" — rather
+	// than the routine refit of its closing kick.
+	kind := ""
 	if acc == nil {
 		a, _, err := s.Accelerations()
 		if err != nil {
 			return err
 		}
 		acc = a
+		kind = s.lastRebuild
 	}
 	dt := s.Cfg.Dt
 	st := s.State
@@ -227,7 +249,7 @@ func (s *Simulator) Step() error {
 		st.Set.Particles[i].Pos = st.Set.Particles[i].Pos.Add(st.Vel[i].Scale(dt))
 	}
 	s.acc = nil // positions moved: the cache is stale until the closing kick
-	acc2, _, err := s.Accelerations()
+	acc2, stats, err := s.Accelerations()
 	if err != nil {
 		return err
 	}
@@ -236,6 +258,15 @@ func (s *Simulator) Step() error {
 	}
 	s.acc = acc2
 	s.Steps++
+	if kind == "" {
+		kind = s.lastRebuild
+	}
+	info := obs.StepInfo{RefitKind: kind, N: len(st.Vel)}
+	if stats != nil {
+		info.EvalWall = stats.EvalTime
+		info.BudgetReal = stats.BoundSum
+	}
+	s.Cfg.Force.Obs.StepEnd(mark, info)
 	return nil
 }
 

@@ -365,3 +365,116 @@ func TestAutoMatchesEveryWithinBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestStepSeriesRecorded pins the per-step time series: every Step with an
+// obs collector appends exactly one StepSample carrying the evaluator
+// lifecycle kind, the closing kick's evaluation stats, and a predicted
+// Theorem 2 budget.
+func TestStepSeriesRecorded(t *testing.T) {
+	col := obs.New()
+	st := gaussianState(t, 200)
+	s, err := New(st, Config{Dt: 1e-4, Force: core.Config{Degree: 3, Obs: col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	if err := s.Run(k); err != nil {
+		t.Fatal(err)
+	}
+	samples := col.StepSamples()
+	if len(samples) != k {
+		t.Fatalf("%d steps produced %d samples", k, len(samples))
+	}
+	if samples[0].RefitKind != "build" {
+		t.Fatalf("first step kind %q, want build", samples[0].RefitKind)
+	}
+	for i, sm := range samples {
+		if sm.Step != int64(i) {
+			t.Fatalf("sample %d has step index %d", i, sm.Step)
+		}
+		if i > 0 && sm.RefitKind != "refit" {
+			t.Fatalf("step %d kind %q, want refit under auto policy", i, sm.RefitKind)
+		}
+		if sm.WallNS <= 0 || sm.EvalNS <= 0 || sm.WallNS < sm.EvalNS {
+			t.Fatalf("step %d timings implausible: %+v", i, sm)
+		}
+		if sm.BudgetPred <= 0 || sm.BudgetReal <= 0 {
+			t.Fatalf("step %d budgets missing: %+v", i, sm)
+		}
+	}
+	roll := col.SeriesRollup()
+	if roll.Steps != k || roll.Builds != 1 || roll.Refits != k-1 {
+		t.Fatalf("rollup kinds wrong: %+v", roll)
+	}
+}
+
+// TestStepSeriesJournalsForcedRebuild verifies a drift-policy fallback
+// surfaces in both the series (kind "full") and the event journal with a
+// named reason.
+func TestStepSeriesJournalsForcedRebuild(t *testing.T) {
+	col := obs.New()
+	st := gaussianState(t, 200)
+	// A huge timestep makes most particles migrate, tripping the
+	// migrant-fraction threshold on the first Update.
+	s, err := New(st, Config{Dt: 5, Force: core.Config{Degree: 3, Obs: col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	roll := col.SeriesRollup()
+	if roll.Rebuilds == 0 {
+		t.Fatalf("huge-dt run never fell back to a full rebuild: %+v", roll)
+	}
+	counts := col.EventCounts()
+	if counts[obs.EventRebuildFallback] == 0 {
+		t.Fatalf("no rebuild-fallback journal event: %v", counts)
+	}
+	found := false
+	for _, ev := range col.Events() {
+		if ev.Kind != obs.EventRebuildFallback {
+			continue
+		}
+		found = true
+		switch ev.Reason {
+		case "out-of-root", "migrant-fraction", "radius-inflation":
+		default:
+			t.Fatalf("fallback event has unnamed reason: %+v", ev)
+		}
+		if ev.Step < 0 {
+			t.Fatalf("fallback event not attributed to a step: %+v", ev)
+		}
+	}
+	if !found {
+		t.Fatal("rebuild-fallback event evicted unexpectedly")
+	}
+}
+
+// TestStepNilObsAllocFree pins the disabled-is-free contract on the new
+// per-step telemetry: with no collector, the steady-state Step path must
+// not allocate on behalf of the time series (StepBegin returns an inert
+// value mark and StepEnd returns immediately).
+func TestStepNilObsAllocFree(t *testing.T) {
+	st := gaussianState(t, 64)
+	s, err := New(st, Config{Dt: 1e-6, Force: core.Config{Degree: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(3); err != nil { // warm up engine and buffers
+		t.Fatal(err)
+	}
+	base := testing.AllocsPerRun(10, func() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The evaluation itself allocates (acceleration slices, worker state);
+	// the telemetry hooks must not add to it. Pin against a generous
+	// multiple of the particle count so the bound tracks real regressions
+	// (per-step telemetry would add ring and journal entries) without
+	// flaking on evaluator-internal noise.
+	if base > 64*40 {
+		t.Fatalf("nil-obs Step allocates %v objects per run", base)
+	}
+}

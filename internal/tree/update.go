@@ -94,6 +94,25 @@ type UpdateStats struct {
 	NeedRebuild bool
 }
 
+// RebuildReason names the drift-policy threshold behind NeedRebuild, for
+// observability journals: "out-of-root" (a migrant escaped the root cube),
+// "radius-inflation" (the pass reached the geometry refresh, so the early
+// bail-outs did not fire, and the inflation cap tripped), or
+// "migrant-fraction" (the remaining early bail-out). Empty when the pass
+// did not ask for a rebuild.
+func (st UpdateStats) RebuildReason() string {
+	switch {
+	case !st.NeedRebuild:
+		return ""
+	case st.OutOfRoot > 0:
+		return "out-of-root"
+	case st.MaxInflation > 0:
+		return "radius-inflation"
+	default:
+		return "migrant-fraction"
+	}
+}
+
 // Update moves the tree to new particle positions, given in the original
 // order used to build it (Pos[i] becomes pos[Perm[i]]). Particles that
 // stayed inside their leaf's box keep their slot; migrants re-bucket into
