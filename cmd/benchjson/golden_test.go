@@ -12,12 +12,14 @@ import (
 
 // TestCheckedInBenchDocument validates the repo-root BENCH_treecode.json
 // against the current schema: the document must parse into doc without
-// unknown-field drift, carry the v4 schema tag, embed the per-step obs
-// time series, and its steps section must show the persistent engine
-// earning its keep — the 100k cell refits without falling back, spends
-// less tree-construction time than the rebuild-every policy, and stays
-// within its Theorem 2 budget. Parse-only (no benchmarks re-run), so it is
-// safe in the tier-1 suite.
+// unknown-field drift, carry the v5 schema tag, embed the per-step obs
+// time series and the mandatory plan section, and its steps section must
+// show the persistent engine earning its keep — the 100k cell refits
+// without falling back, spends less tree-construction time than the
+// rebuild-every policy, stays within its Theorem 2 budget, and serves at
+// least 90% of its interaction-plan entries from the cache in steady
+// state. Parse-only (no benchmarks re-run), so it is safe in the tier-1
+// suite.
 func TestCheckedInBenchDocument(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_treecode.json"))
 	if err != nil {
@@ -75,6 +77,20 @@ func TestCheckedInBenchDocument(t *testing.T) {
 					s.Policy, s.N, s.Workers, i, sm.RefitKind, want)
 			}
 		}
+		// v5: every steps entry carries the interaction-plan summary.
+		if s.Plan == nil {
+			t.Errorf("steps[%s n=%d w=%d]: missing plan section (mandatory since schema v5)",
+				s.Policy, s.N, s.Workers)
+			continue
+		}
+		tot := s.Plan.EntriesReused + s.Plan.EntriesRebuilt
+		if tot <= 0 {
+			t.Errorf("steps[%s n=%d w=%d]: plan section recorded no entries; batched step evaluation did not run",
+				s.Policy, s.N, s.Workers)
+		} else if got := float64(s.Plan.EntriesReused) / float64(tot); got < s.Plan.ReuseFrac-1e-9 || got > s.Plan.ReuseFrac+1e-9 {
+			t.Errorf("steps[%s n=%d w=%d]: reuse_frac %v inconsistent with %d/%d",
+				s.Policy, s.N, s.Workers, s.Plan.ReuseFrac, s.Plan.EntriesReused, tot)
+		}
 		switch s.Policy {
 		case "every":
 			if s.Refits != 0 || s.Builds != s.Steps+1 {
@@ -87,6 +103,28 @@ func TestCheckedInBenchDocument(t *testing.T) {
 				if s.Refits != int64(s.Steps) || s.Rebuilds != 0 {
 					t.Errorf("auto[n=%d w=%d]: %d refits, %d rebuilds over %d steps; want every update to refit",
 						s.N, s.Workers, s.Refits, s.Rebuilds, s.Steps)
+				}
+				// The headline steady-state claim: once past the cold first
+				// build, every refit step serves >= 90% of its plan entries
+				// from the cache, with measurable traversal savings. (The
+				// run-aggregate ReuseFrac sits lower because it includes the
+				// first evaluation, which builds every plan from scratch.)
+				var steady int
+				for i, sm := range s.Samples {
+					if sm.RefitKind != "refit" {
+						continue
+					}
+					steady++
+					if sm.PlanReuse < 0.90 {
+						t.Errorf("auto[n=%d w=%d] step %d: plan reuse %.4f below the 90%% steady-state target",
+							s.N, s.Workers, i, sm.PlanReuse)
+					}
+				}
+				if steady == 0 {
+					t.Errorf("auto[n=%d w=%d]: no steady-state refit samples to hold to the reuse target", s.N, s.Workers)
+				}
+				if s.Plan.TraversalSavedNS <= 0 {
+					t.Errorf("auto[n=%d w=%d]: no traversal time saved by the plan cache", s.N, s.Workers)
 				}
 			}
 			if s.RadiusInflationMax != 0 && s.RadiusInflationMax < 1 {

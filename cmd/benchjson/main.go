@@ -21,7 +21,10 @@
 // pass is identical work for both policies), refit counters, the
 // trajectory drift between the policies, and the relative gap between the
 // refit engine's potentials and a fresh build at the same final positions
-// next to its Theorem 2 budget.
+// next to its Theorem 2 budget. Steps run in batched eval mode by default
+// (-stepeval) so the persistent interaction-plan cache is exercised; each
+// steps entry carries the schema-v5 plan section (entry reuse fraction,
+// revalidation losses, traversal time saved).
 //
 // The checked-in BENCH_treecode.json is produced by the default flags; CI
 // runs the short variant (-sizes 2000,8000 -reps 1 plus a small steps
@@ -119,23 +122,30 @@ func runSteps(dist string, n, workers, steps int, dt float64, seed int64, base c
 	// A fresh construction emits core/build (tree sort + degree selection)
 	// plus a top-level core/upward for the moments; a refit nests its
 	// upward child inside the core/refit span. Splitting the refit at that
-	// child keeps the two policies' construct/moments split symmetric.
+	// child keeps the two policies' construct/moments split symmetric. The
+	// refit's plans child (interaction-plan revalidation) is excluded from
+	// the construct share too: it is traversal maintenance, not tree
+	// maintenance, so it is charged to the plan block's traversal_ns next
+	// to the traversal_saved_ns it buys.
 	spans := col.Spans()
 	buildMS, builds := sumSpansMS(spans, "core/build")
 	upwardMS, _ := sumSpansMS(spans, "core/upward")
-	var refitMS, refitUpMS float64
+	var refitMS, refitUpMS, refitPlanMS float64
 	for _, s := range spans {
 		if s.Name != "core/refit" {
 			continue
 		}
 		refitMS += float64(s.DurNS) / 1e6
 		for _, c := range s.Children {
-			if c.Name == "upward" {
+			switch c.Name {
+			case "upward":
 				refitUpMS += float64(c.DurNS) / 1e6
+			case "plans":
+				refitPlanMS += float64(c.DurNS) / 1e6
 			}
 		}
 	}
-	sr.ConstructMS = buildMS + refitMS - refitUpMS
+	sr.ConstructMS = buildMS + refitMS - refitUpMS - refitPlanMS
 	sr.MomentsMS = upwardMS + refitUpMS
 	sr.Builds = builds
 	r := col.Metrics().Refit
@@ -145,6 +155,29 @@ func runSteps(dist string, n, workers, steps int, dt float64, seed int64, base c
 	sr.Samples = col.StepSamples()
 	sr.Rollup = col.SeriesRollup()
 	sr.Journal = col.Events()
+	pm := col.Metrics().Plan
+	plan := &benchfmt.StepPlan{
+		EntriesReused:  pm.EntriesReused,
+		EntriesRebuilt: pm.EntriesRebuilt,
+		ReuseFrac:      pm.ReuseFrac(),
+		Invalidated:    pm.Invalidated,
+		Drops:          pm.Drops,
+		TraversalNS:    pm.CollectNS + int64(refitPlanMS*1e6),
+	}
+	// Traversal saved by the plan cache: a non-caching evaluator re-pays
+	// the run's first full collect on every subsequent step, so the saving
+	// is the gap between that baseline and what each step actually spent.
+	// Only meaningful under the persistent engine — the every policy
+	// rebuilds from scratch each evaluation, so its gap is noise.
+	if policy == sim.RebuildAuto && len(sr.Samples) > 0 {
+		baseline := sr.Samples[0].PlanCollectNS
+		for _, smp := range sr.Samples[1:] {
+			if d := baseline - smp.PlanCollectNS; d > 0 {
+				plan.TraversalSavedNS += d
+			}
+		}
+	}
+	sr.Plan = plan
 	return sr, s, nil
 }
 
@@ -249,6 +282,7 @@ func main() {
 	stepN := flag.Int("stepn", 100000, "particle count for the steps section (0 disables)")
 	stepCount := flag.Int("stepcount", 10, "leapfrog steps per policy in the steps section")
 	stepDt := flag.Float64("stepdt", 1e-4, "timestep for the steps section (small enough that every update refits at the default -stepn and -stepcount)")
+	stepEval := flag.String("stepeval", "batched", "eval mode for the steps section (walk or batched; batched exercises the interaction-plan cache)")
 	out := flag.String("o", "BENCH_treecode.json", "output file (- for stdout)")
 	flag.Parse()
 
@@ -367,7 +401,12 @@ func main() {
 	}
 
 	if *stepN > 0 && *stepCount > 0 {
-		base := core.Config{Method: m, Alpha: *alpha, Degree: *degree}
+		stepMode, err := core.ParseEvalMode(*stepEval)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		base := core.Config{Method: m, Alpha: *alpha, Degree: *degree, Eval: stepMode}
 		for _, workers := range workerCounts {
 			srs, sp, err := measureSteps(*stepDist, *stepN, workers, *stepCount, *stepDt, *seed, base)
 			if err != nil {
@@ -377,8 +416,8 @@ func main() {
 			d.Steps = append(d.Steps, srs...)
 			d.StepPairs = append(d.StepPairs, sp)
 			for _, sr := range srs {
-				fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d steps=%d %-5s construct %.1f ms, moments %.1f ms of %.1f ms (%d builds, %d refits)\n",
-					sr.Dist, sr.N, sr.Workers, sr.Steps, sr.Policy, sr.ConstructMS, sr.MomentsMS, sr.TotalMS, sr.Builds, sr.Refits)
+				fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d steps=%d %-5s construct %.1f ms, moments %.1f ms of %.1f ms (%d builds, %d refits, plan reuse %.1f%%)\n",
+					sr.Dist, sr.N, sr.Workers, sr.Steps, sr.Policy, sr.ConstructMS, sr.MomentsMS, sr.TotalMS, sr.Builds, sr.Refits, 100*sr.Plan.ReuseFrac)
 			}
 			fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d steps: construct speedup %.2fx, phi drift %.3g (budget %.3g), traj drift %.3g\n",
 				*stepDist, *stepN, workers, sp.ConstructSpeedup, sp.RefitPhiDrift, sp.RefitPhiBound, sp.TrajDrift)

@@ -32,6 +32,11 @@
 //     machines — CI diffs a fresh run against the checked-in baseline
 //     this way and still catches counter drift and budget violations.
 //
+//   - Interaction-plan cache reuse (schema v5 steps cells) may regress
+//     only within -planfactor: the new reuse fraction must stay above
+//     base/-planfactor on every matched steps cell where both documents
+//     carry plan data. Pre-v5 baselines carry none and skip the gate.
+//
 // Independently of cell matching, the new document's step pairs must stay
 // within their Theorem 2 budget (RefitPhiDrift <= RefitPhiBound).
 //
@@ -56,6 +61,7 @@ import (
 func main() {
 	diffBase := flag.String("diff", "", "baseline document: compare FILE (new) against this and exit nonzero on regression")
 	wallFactor := flag.Float64("wallfactor", 1.75, "max allowed new/base eval wall-time ratio in -diff mode (0 disables wall checks)")
+	planFactor := flag.Float64("planfactor", 1.1, "max allowed base/new plan-reuse-fraction ratio in -diff mode (0 disables the plan gate)")
 	relTol := flag.Float64("reltol", 1e-9, "relative tolerance for deterministic float comparisons in -diff mode")
 	out := flag.String("o", "", "render output file (default stdout)")
 	flag.Parse()
@@ -75,7 +81,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "obsreport:", err)
 			os.Exit(2)
 		}
-		regressions := diff(base, next, *wallFactor, *relTol)
+		regressions := diff(base, next, *wallFactor, *planFactor, *relTol)
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 		}
@@ -108,12 +114,13 @@ func ms(ns int64) float64 { return float64(ns) / 1e6 }
 // renderSeries prints the per-step table, journal, and rollup summary of
 // one step series.
 func renderSeries(w *cliio.Output, samples []obs.StepSample, journal []obs.Event, roll obs.SeriesRollup) {
-	fmt.Fprintf(w.W, "  %4s %-6s %9s %11s %9s %12s %12s %8s %8s %8s\n",
-		"step", "kind", "migrants", "migr_frac", "inflate", "budget_pred", "budget_real", "wall_ms", "eval_ms", "steals")
+	fmt.Fprintf(w.W, "  %4s %-6s %9s %11s %9s %12s %12s %8s %8s %8s %10s %8s\n",
+		"step", "kind", "migrants", "migr_frac", "inflate", "budget_pred", "budget_real", "wall_ms", "eval_ms", "steals", "plan_reuse", "plan_ms")
 	for _, s := range samples {
-		fmt.Fprintf(w.W, "  %4d %-6s %9d %11.4g %9.4g %12.5g %12.5g %8.2f %8.2f %8d\n",
+		fmt.Fprintf(w.W, "  %4d %-6s %9d %11.4g %9.4g %12.5g %12.5g %8.2f %8.2f %8d %10.4f %8.2f\n",
 			s.Step, s.RefitKind, s.Migrants, s.MigrantFrac, s.RadiusInflation,
-			s.BudgetPred, s.BudgetReal, ms(s.WallNS), ms(s.EvalNS), s.Steals)
+			s.BudgetPred, s.BudgetReal, ms(s.WallNS), ms(s.EvalNS), s.Steals,
+			s.PlanReuse, ms(s.PlanCollectNS))
 	}
 	if n := roll.Steps; n > 0 {
 		fmt.Fprintf(w.W, "  rollup: %d steps (%d build, %d refit, %d full; %d evicted)\n",
@@ -123,6 +130,8 @@ func renderSeries(w *cliio.Output, samples []obs.StepSample, journal []obs.Event
 			roll.Migrants.Mean(n), roll.Migrants.Max)
 		fmt.Fprintf(w.W, "  rollup: budget_pred mean %.5g max %.5g, budget_real mean %.5g max %.5g\n",
 			roll.BudgetPred.Mean(n), roll.BudgetPred.Max, roll.BudgetReal.Mean(n), roll.BudgetReal.Max)
+		fmt.Fprintf(w.W, "  rollup: plan reuse mean %.4f, plan collect mean %.2f ms max %.2f ms\n",
+			roll.PlanReuse.Mean(n), roll.PlanCollect.Mean(n)/1e6, roll.PlanCollect.Max/1e6)
 	}
 	for _, e := range journal {
 		fmt.Fprintf(w.W, "  event t=%-12s step=%-4d %-18s value=%-10.4g %s\n",
@@ -140,6 +149,11 @@ func render(w *cliio.Output, path string) error {
 			s := &d.Steps[i]
 			fmt.Fprintf(w.W, "\nsteps %s n=%d workers=%d policy=%s (%d steps, dt=%v): construct %.1f ms, moments %.1f ms, total %.1f ms\n",
 				s.Dist, s.N, s.Workers, s.Policy, s.Steps, s.Dt, s.ConstructMS, s.MomentsMS, s.TotalMS)
+			if p := s.Plan; p != nil {
+				fmt.Fprintf(w.W, "  plan: reuse %.4f (%d reused, %d rebuilt), %d invalidated, %d drops, traversal %.1f ms (saved %.1f ms)\n",
+					p.ReuseFrac, p.EntriesReused, p.EntriesRebuilt, p.Invalidated, p.Drops,
+					ms(p.TraversalNS), ms(p.TraversalSavedNS))
+			}
 			renderSeries(w, s.Samples, s.Journal, s.Rollup)
 		}
 		for _, p := range d.StepPairs {
@@ -190,9 +204,11 @@ func (k cellKey) String() string {
 
 // diff compares next against base and returns the regressions found.
 // Deterministic counters gate exactly when the documents' headers agree;
-// wall times gate by factor (0 disables); budget violations in next gate
-// unconditionally.
-func diff(base, next *benchfmt.Doc, wallFactor, relTol float64) []string {
+// wall times gate by factor (0 disables); plan reuse fractions may only
+// regress within planFactor on matched steps cells where both documents
+// carry plan data (pre-v5 baselines skip the gate); budget violations in
+// next gate unconditionally.
+func diff(base, next *benchfmt.Doc, wallFactor, planFactor, relTol float64) []string {
 	var regs []string
 	deterministic := base.Seed == next.Seed && base.Alpha == next.Alpha && //lint:ignore floatcmp header identity, not arithmetic: counters are comparable only under bit-identical configuration
 		base.Degree == next.Degree && base.Method == next.Method
@@ -250,6 +266,12 @@ func diff(base, next *benchfmt.Doc, wallFactor, relTol float64) []string {
 		if wallFactor > 0 && b.TotalMS > 0 && s.TotalMS > b.TotalMS*wallFactor {
 			regs = append(regs, fmt.Sprintf("%s: total wall time %.2f ms exceeds %.2f x baseline %.2f ms",
 				k, s.TotalMS, wallFactor, b.TotalMS))
+		}
+		if planFactor > 0 && b.Plan != nil && s.Plan != nil && b.Plan.ReuseFrac > 0 {
+			if s.Plan.ReuseFrac < b.Plan.ReuseFrac/planFactor {
+				regs = append(regs, fmt.Sprintf("%s: plan reuse fraction %.4f fell below baseline %.4f / %.2f",
+					k, s.Plan.ReuseFrac, b.Plan.ReuseFrac, planFactor))
+			}
 		}
 	}
 

@@ -27,12 +27,14 @@ func sampleDoc() *benchfmt.Doc {
 			{Dist: "plummer", N: 1000, Workers: 1, Steps: 3, Dt: 1e-4, Policy: "auto",
 				TotalMS: 50, Refits: 3, Migrants: 12,
 				Samples: []obs.StepSample{
-					{Step: 0, RefitKind: "build", WallNS: 2e6, EvalNS: 1e6, BudgetPred: 0.5, BudgetReal: 0.1},
-					{Step: 1, RefitKind: "refit", WallNS: 1e6, EvalNS: 5e5, Migrants: 6, MigrantFrac: 0.006, BudgetPred: 0.25, BudgetReal: 0.05},
-					{Step: 2, RefitKind: "refit", WallNS: 1e6, EvalNS: 5e5, Migrants: 6, MigrantFrac: 0.006, BudgetPred: 0.25, BudgetReal: 0.05},
+					{Step: 0, RefitKind: "build", WallNS: 2e6, EvalNS: 1e6, BudgetPred: 0.5, BudgetReal: 0.1, PlanRebuilt: 400, PlanCollectNS: 3e5},
+					{Step: 1, RefitKind: "refit", WallNS: 1e6, EvalNS: 5e5, Migrants: 6, MigrantFrac: 0.006, BudgetPred: 0.25, BudgetReal: 0.05, PlanReused: 390, PlanRebuilt: 10, PlanReuse: 0.975, PlanCollectNS: 1e4},
+					{Step: 2, RefitKind: "refit", WallNS: 1e6, EvalNS: 5e5, Migrants: 6, MigrantFrac: 0.006, BudgetPred: 0.25, BudgetReal: 0.05, PlanReused: 395, PlanRebuilt: 5, PlanReuse: 0.9875, PlanCollectNS: 5e3},
 				},
 				Rollup:  obs.SeriesRollup{Steps: 3, Builds: 1, Refits: 2},
 				Journal: []obs.Event{{Step: 1, Kind: obs.EventDegreeClamp, Reason: "cap", Value: 2}},
+				Plan: &benchfmt.StepPlan{EntriesReused: 785, EntriesRebuilt: 415, ReuseFrac: 0.6542,
+					Invalidated: 15, TraversalNS: 315000, TraversalSavedNS: 585000},
 			},
 		},
 		StepPairs: []benchfmt.StepPair{
@@ -43,7 +45,7 @@ func sampleDoc() *benchfmt.Doc {
 }
 
 func TestDiffIdenticalDocumentsClean(t *testing.T) {
-	if regs := diff(sampleDoc(), sampleDoc(), 1.75, 1e-9); len(regs) != 0 {
+	if regs := diff(sampleDoc(), sampleDoc(), 1.75, 1.1, 1e-9); len(regs) != 0 {
 		t.Fatalf("identical documents regressed: %v", regs)
 	}
 }
@@ -51,12 +53,12 @@ func TestDiffIdenticalDocumentsClean(t *testing.T) {
 func TestDiffCatchesWallTimeRegression(t *testing.T) {
 	next := sampleDoc()
 	next.Results[0].EvalMS *= 2 // injected 2x slowdown
-	regs := diff(sampleDoc(), next, 1.75, 1e-9)
+	regs := diff(sampleDoc(), next, 1.75, 1.1, 1e-9)
 	if len(regs) != 1 || !strings.Contains(regs[0], "wall time") {
 		t.Fatalf("2x wall regression not caught: %v", regs)
 	}
 	// With wall checks disabled (cross-machine mode) it must pass.
-	if regs := diff(sampleDoc(), next, 0, 1e-9); len(regs) != 0 {
+	if regs := diff(sampleDoc(), next, 0, 1.1, 1e-9); len(regs) != 0 {
 		t.Fatalf("wallfactor 0 still flagged wall time: %v", regs)
 	}
 }
@@ -65,7 +67,7 @@ func TestDiffCatchesBudgetViolation(t *testing.T) {
 	next := sampleDoc()
 	next.StepPairs[0].RefitPhiDrift = 10 * next.StepPairs[0].RefitPhiBound
 	// Budget violations gate even with wall checks disabled.
-	regs := diff(sampleDoc(), next, 0, 1e-9)
+	regs := diff(sampleDoc(), next, 0, 1.1, 1e-9)
 	if len(regs) != 1 || !strings.Contains(regs[0], "Theorem 2 budget") {
 		t.Fatalf("budget violation not caught: %v", regs)
 	}
@@ -75,15 +77,47 @@ func TestDiffCatchesCounterDrift(t *testing.T) {
 	next := sampleDoc()
 	next.Results[1].Terms += 1000
 	next.Steps[0].Rebuilds = 1
-	regs := diff(sampleDoc(), next, 0, 1e-9)
+	regs := diff(sampleDoc(), next, 0, 1.1, 1e-9)
 	if len(regs) != 2 {
 		t.Fatalf("want 2 counter regressions, got: %v", regs)
 	}
 	// Counters are machine-independent only for identical configurations:
 	// a different seed must disable the exact checks instead of flagging.
 	next.Seed = 43
-	if regs := diff(sampleDoc(), next, 0, 1e-9); len(regs) != 0 {
+	if regs := diff(sampleDoc(), next, 0, 1.1, 1e-9); len(regs) != 0 {
 		t.Fatalf("seed-mismatched diff still gated counters: %v", regs)
+	}
+}
+
+func TestDiffCatchesPlanReuseRegression(t *testing.T) {
+	next := sampleDoc()
+	next.Steps[0].Plan.ReuseFrac = 0.30 // cache effectiveness collapsed
+	regs := diff(sampleDoc(), next, 0, 1.1, 1e-9)
+	if len(regs) != 1 || !strings.Contains(regs[0], "plan reuse") {
+		t.Fatalf("plan reuse collapse not caught: %v", regs)
+	}
+	// A drop within the tolerance band must pass.
+	next.Steps[0].Plan.ReuseFrac = sampleDoc().Steps[0].Plan.ReuseFrac / 1.05
+	if regs := diff(sampleDoc(), next, 0, 1.1, 1e-9); len(regs) != 0 {
+		t.Fatalf("in-tolerance reuse drop flagged: %v", regs)
+	}
+	// planfactor 0 disables the gate entirely.
+	next.Steps[0].Plan.ReuseFrac = 0
+	if regs := diff(sampleDoc(), next, 0, 0, 1e-9); len(regs) != 0 {
+		t.Fatalf("planfactor 0 still gated plan reuse: %v", regs)
+	}
+}
+
+func TestDiffSkipsPlanGateOnV4Baseline(t *testing.T) {
+	// A pre-v5 baseline has no plan section; the gate must skip, not flag
+	// (and not dereference nil).
+	base := sampleDoc()
+	base.Schema = "treecode-bench/v4"
+	base.Steps[0].Plan = nil
+	next := sampleDoc()
+	next.Steps[0].Plan.ReuseFrac = 0
+	if regs := diff(base, next, 0, 1.1, 1e-9); len(regs) != 0 {
+		t.Fatalf("v4 baseline without plan section gated plan reuse: %v", regs)
 	}
 }
 
@@ -94,7 +128,7 @@ func TestDiffVacuousWhenNoCellsMatch(t *testing.T) {
 	}
 	next.Steps[0].N = 777
 	next.StepPairs = nil
-	regs := diff(sampleDoc(), next, 1.75, 1e-9)
+	regs := diff(sampleDoc(), next, 1.75, 1.1, 1e-9)
 	if len(regs) != 1 || !strings.Contains(regs[0], "vacuous") {
 		t.Fatalf("empty intersection must fail loudly: %v", regs)
 	}
@@ -134,6 +168,7 @@ func TestRenderBenchDocument(t *testing.T) {
 	for _, want := range []string{
 		"policy=auto", "refit", "budget_pred", "degree-clamp",
 		"construct speedup 3.00x", "rollup: 3 steps (1 build, 2 refit, 0 full",
+		"plan_reuse", "plan: reuse 0.6542 (785 reused, 415 rebuilt)",
 	} {
 		if !strings.Contains(report, want) {
 			t.Fatalf("report missing %q:\n%s", want, report)
@@ -166,6 +201,25 @@ func TestRenderObsSnapshot(t *testing.T) {
 	}
 	if !strings.Contains(string(raw), "rebuild-fallback") || !strings.Contains(string(raw), "build") {
 		t.Fatalf("snapshot report incomplete:\n%s", raw)
+	}
+}
+
+func TestReadDocRejectsV5MissingPlanSection(t *testing.T) {
+	d := sampleDoc()
+	d.Steps[0].Plan = nil
+	path := writeDoc(t, d)
+	_, err := benchfmt.ReadDoc(path)
+	if err == nil || !strings.Contains(err.Error(), "missing the plan section") {
+		t.Fatalf("v5 document without plan section accepted: %v", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "policy=auto") {
+		t.Fatalf("rejection does not identify the offending cell: %v", err)
+	}
+	// The same document tagged v4 must be accepted (older producers).
+	d.Schema = "treecode-bench/v4"
+	path = writeDoc(t, d)
+	if _, err := benchfmt.ReadDoc(path); err != nil {
+		t.Fatalf("v4 document without plan section rejected: %v", err)
 	}
 }
 

@@ -6,18 +6,20 @@
 package benchfmt
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"treecode/internal/obs"
 )
 
 // Schema tags the current document format. v3 added the steps section; v4
 // embeds the per-step obs time series (samples, rollup) and event journal
-// in each steps entry.
-const Schema = "treecode-bench/v4"
+// in each steps entry; v5 adds the mandatory per-steps-entry Plan section
+// (interaction-plan cache reuse and traversal savings).
+const Schema = "treecode-bench/v5"
 
 // Result is one (distribution, n, workers, eval mode) evaluation cell.
 type Result struct {
@@ -100,6 +102,32 @@ type StepResult struct {
 	Samples []obs.StepSample `json:"samples,omitempty"`
 	Rollup  obs.SeriesRollup `json:"rollup"`
 	Journal []obs.Event      `json:"journal,omitempty"`
+
+	// Plan summarizes the run's interaction-plan cache activity (v5).
+	// Mandatory in v5 documents: ReadDoc rejects a v5 steps entry without
+	// it, so a producer that silently stopped recording plan counters
+	// fails the read instead of rendering empty cells.
+	Plan *StepPlan `json:"plan,omitempty"`
+}
+
+// StepPlan is the per-steps-entry summary of the persistent interaction-
+// plan cache (schema v5): entry reuse over the whole run, revalidation
+// losses, and how much traversal time the cache saved relative to
+// re-collecting every plan from scratch each step.
+type StepPlan struct {
+	EntriesReused  int64   `json:"entries_reused"`
+	EntriesRebuilt int64   `json:"entries_rebuilt"`
+	ReuseFrac      float64 `json:"reuse_frac"` // reused/(reused+rebuilt); 0 when no batched eval ran
+	Invalidated    int64   `json:"invalidated"`
+	Drops          int64   `json:"drops"` // whole-store drops (full rebuilds)
+	// TraversalNS is the plan-maintenance time actually spent: collect
+	// time building and repairing plans during evaluation plus the
+	// post-refit slack-revalidation pass. TraversalSavedNS estimates the
+	// traversal time the cache avoided, taking the run's first full plan
+	// build as the per-step cost a non-caching evaluator would re-pay
+	// (reported only under the persistent auto policy).
+	TraversalNS      int64 `json:"traversal_ns"`
+	TraversalSavedNS int64 `json:"traversal_saved_ns"`
 }
 
 // StepPair compares the two policies on one (dist, n, workers) cell.
@@ -148,7 +176,10 @@ type Doc struct {
 // treecode-bench/* schema (older documents simply lack the newer
 // sections) but rejects documents without the schema prefix, so a stray
 // obs snapshot or unrelated JSON fails loudly instead of diffing as all
-// zeros.
+// zeros. Versioned requirements are enforced: a v5 (or newer) document
+// whose steps entries lack the plan section is rejected — the section is
+// mandatory from v5 on, and rendering it as empty cells would hide a
+// producer that stopped recording plan counters.
 func ReadDoc(path string) (*Doc, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -158,8 +189,22 @@ func ReadDoc(path string) (*Doc, error) {
 	if err := json.Unmarshal(raw, &d); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if !bytes.HasPrefix([]byte(d.Schema), []byte("treecode-bench/")) {
+	const prefix = "treecode-bench/v"
+	if !strings.HasPrefix(d.Schema, prefix) {
 		return nil, fmt.Errorf("%s: schema %q is not a treecode-bench document", path, d.Schema)
+	}
+	ver, err := strconv.Atoi(strings.TrimPrefix(d.Schema, prefix))
+	if err != nil {
+		return nil, fmt.Errorf("%s: schema %q has no parsable version", path, d.Schema)
+	}
+	if ver >= 5 {
+		for i := range d.Steps {
+			if d.Steps[i].Plan == nil {
+				s := &d.Steps[i]
+				return nil, fmt.Errorf("%s: steps[%d] (%s n=%d workers=%d policy=%s) is missing the plan section required since schema v5",
+					path, i, s.Dist, s.N, s.Workers, s.Policy)
+			}
+		}
 	}
 	return &d, nil
 }

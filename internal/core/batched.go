@@ -27,6 +27,16 @@ package core
 // would accept (no extra work, only amortized traversal). The two modes
 // differ solely in summation order.
 //
+// The traversal's outcome — the classified decision list per target leaf —
+// persists on the evaluator between calls as an interaction *plan*
+// (plan.go) and is revalidated, not re-derived, across Evaluator.Update:
+// the steady-state force call pays no traversal at all. Collect runs on an
+// explicit per-worker stack (deep refined trees cannot overflow goroutine
+// stacks, and the hot path pays no call overhead), classifies from
+// mac.SphereMAC.SphereSlacks — whose signs reproduce the boolean sphere
+// tests exactly — and emits the flat DFS plan the cached evaluation
+// replays in the fresh traversal's order bitwise.
+//
 // Leaf tasks are wildly uneven for clustered distributions, so they are
 // balanced by the work-stealing scheduler in internal/sched rather than the
 // static chunk slicing the walk uses. Results are independent of the
@@ -47,33 +57,44 @@ import (
 )
 
 // batchWorker extends the walk worker with the conservative MAC and the
-// per-leaf interaction lists. The lists are reused across leaf tasks
+// plan-traversal scratch. stack and scratch are reused across leaf tasks
 // (truncated, never reallocated once grown), so steady-state leaf
 // processing performs no allocations.
 type batchWorker struct {
 	worker
 	smac mac.SphereMAC
-	m2p  []*tree.Node // clusters every particle of the leaf accepts
-	band []*tree.Node // clusters needing per-particle refinement
-	p2p  []*tree.Node // source leaves every particle of the leaf rejects
+	// stack backs the explicit-DFS collect; scratch receives repaired
+	// plans (swapped with the plan's old backing array afterwards).
+	stack   []planFrame
+	scratch []planEntry
 	// Refinement-band tallies for the current leaf, flushed to the shard
 	// once per leaf.
 	refChecks  int64
 	refAccepts int64
 }
 
+// planFrame is one explicit-stack slot of collect: a node still to
+// classify, or — when n is nil — a close marker patching the span of the
+// open entry at index patch once its subtree segment is complete.
+type planFrame struct {
+	n     *tree.Node
+	patch int32
+}
+
 // batchedLeaves drives one batched evaluation: leaf tasks over the
 // work-stealing scheduler, one batchWorker per goroutine, stats and shards
 // merged exactly as parallelChunks does, plus the pool's steal count folded
-// into the batch metrics.
-func (e *Evaluator) batchedLeaves(workers int, parent *obs.Span, stats *Stats, body func(w *batchWorker, leaf *tree.Node)) {
+// into the batch metrics. The body receives the leaf's index into
+// e.leaves/e.plans so workers address their plan slots directly; slots are
+// disjoint per task, so plan builds and repairs race nothing.
+func (e *Evaluator) batchedLeaves(workers int, parent *obs.Span, stats *Stats, body func(w *batchWorker, li int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	leaves := e.leaves
+	e.ensurePlans()
 	smac := e.Cfg.MAC.(mac.SphereMAC) // Validate guarantees the assertion
 	var mu sync.Mutex
-	st := sched.Run(len(leaves), workers, func(id int, next func() (int, bool)) {
+	st := sched.Run(len(e.leaves), workers, func(id int, next func() (int, bool)) {
 		sp := parent.ChildWorker("worker", id)
 		w := &batchWorker{
 			worker: worker{
@@ -84,7 +105,7 @@ func (e *Evaluator) batchedLeaves(workers int, parent *obs.Span, stats *Stats, b
 			smac: smac,
 		}
 		for t, ok := next(); ok; t, ok = next() {
-			body(w, leaves[t])
+			body(w, t)
 		}
 		mu.Lock()
 		stats.add(&w.stats)
@@ -95,71 +116,92 @@ func (e *Evaluator) batchedLeaves(workers int, parent *obs.Span, stats *Stats, b
 	e.Cfg.Obs.AddSteals(st.Steals)
 }
 
-// collect classifies the subtree at n against the target leaf's bounding
-// sphere, filling the worker's m2p/band/p2p lists. Nodes every particle
-// provably rejects are recorded as count bulk rejections, keeping the
-// census identical to the walk's (which records one rejection per particle
-// at every opened node and every directly-summed leaf).
-func (w *batchWorker) collect(n *tree.Node, c vec.V3, rho float64, count int64) {
-	if w.smac.AcceptSphere(c, rho, n) {
-		w.m2p = append(w.m2p, n)
-		return
+// collect classifies the subtree at root against the target leaf's bounding
+// sphere, appending the flat DFS-ordered plan to dst. Classification reads
+// the signed sphere-test margins (SphereSlacks) so each entry carries the
+// slack revalidation consumes later; the slack signs reproduce the
+// AcceptSphere/RejectSphere booleans exactly, so the emitted decisions are
+// the recursive traversal's bit for bit. The walk runs on the worker's
+// explicit stack — reused across leaves, grown once — with nil-node close
+// markers patching each open entry's span when its segment completes.
+// Collect is pure classification; census accounting (bulk rejections,
+// batch-leaf tallies) happens in the evaluation passes so cached and fresh
+// plans record identical censuses.
+//
+//treecode:hot
+func (w *batchWorker) collect(dst []planEntry, root *tree.Node, c vec.V3, rho float64) []planEntry {
+	w.stack = append(w.stack[:0], planFrame{n: root})
+	for len(w.stack) > 0 {
+		f := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		if f.n == nil {
+			dst[f.patch].span = int32(len(dst)) - f.patch
+			continue
+		}
+		n := f.n
+		acc, rej := w.smac.SphereSlacks(c, rho, n)
+		switch {
+		case acc >= 0: // == AcceptSphere
+			dst = append(dst, planEntry{node: n, slack: acc, span: 1, kind: planM2P})
+		case rej <= 0: // == !RejectSphere: refinement band
+			slack := -rej
+			if s := -acc; s < slack {
+				slack = s
+			}
+			dst = append(dst, planEntry{node: n, slack: slack, span: 1, kind: planBand})
+		case n.IsLeaf():
+			dst = append(dst, planEntry{node: n, slack: rej, span: 1, kind: planP2P})
+		default:
+			dst = append(dst, planEntry{node: n, slack: rej, span: 1, kind: planOpen})
+			w.stack = append(w.stack, planFrame{patch: int32(len(dst)) - 1})
+			for i := len(n.Children) - 1; i >= 0; i-- {
+				w.stack = append(w.stack, planFrame{n: n.Children[i]})
+			}
+		}
 	}
-	if !w.smac.RejectSphere(c, rho, n) {
-		w.band = append(w.band, n)
-		return
-	}
-	if w.shard != nil {
-		w.shard.RejectN(n.Level, count)
-	}
-	if n.IsLeaf() {
-		w.p2p = append(w.p2p, n)
-		return
-	}
-	for _, ch := range n.Children {
-		w.collect(ch, c, rho, count)
-	}
-}
-
-// begin resets the per-leaf lists and tallies and runs the collect pass.
-func (w *batchWorker) begin(leaf *tree.Node) {
-	w.m2p = w.m2p[:0]
-	w.band = w.band[:0]
-	w.p2p = w.p2p[:0]
-	w.refChecks = 0
-	w.refAccepts = 0
-	w.collect(w.e.Tree.Root, leaf.Centroid, leaf.BRadius, int64(leaf.Count()))
-}
-
-// finish flushes the per-leaf batch metrics.
-func (w *batchWorker) finish(leaf *tree.Node) {
-	if w.shard == nil {
-		return
-	}
-	w.shard.BatchLeaf(int64(len(w.m2p)), int64(len(w.m2p))*int64(leaf.Count()))
-	w.shard.Refine(w.refChecks, w.refAccepts)
+	return dst
 }
 
 // leafPotentials evaluates the potentials of every particle in the target
-// leaf. Far-field clusters run in a cluster-outer loop so each expansion's
-// coefficients stay hot across the leaf's particles; near-field leaves
-// batch P2P over contiguous tree-order slices.
+// leaf at index li, acquiring (hitting, repairing or building) the leaf's
+// cached plan first. Far-field clusters run in a cluster-outer loop so each
+// expansion's coefficients stay hot across the leaf's particles; near-field
+// leaves batch P2P over contiguous tree-order slices. The kind-filtered
+// passes visit entries in plan (DFS) order, so the summation order is the
+// fresh traversal's exactly.
 //
 //treecode:hot
-func (w *batchWorker) leafPotentials(leaf *tree.Node, out []float64) {
-	w.begin(leaf)
+func (w *batchWorker) leafPotentials(li int, out []float64) {
+	pl := &w.e.plans[li]
+	leaf := pl.leaf
+	entries := w.acquire(pl)
+	w.census(entries, leaf)
+	w.refChecks = 0
+	w.refAccepts = 0
 	t := w.e.Tree
-	for _, n := range w.m2p {
+	for k := range entries {
+		if entries[k].kind != planM2P {
+			continue
+		}
+		n := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
 			out[t.Perm[i]] += w.fusedM2P(n, t.Pos[i])
 		}
 	}
-	for _, n := range w.band {
+	for k := range entries {
+		if entries[k].kind != planBand {
+			continue
+		}
+		n := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
 			out[t.Perm[i]] += w.refine(n, t.Pos[i], i)
 		}
 	}
-	for _, src := range w.p2p {
+	for k := range entries {
+		if entries[k].kind != planP2P {
+			continue
+		}
+		src := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
 			phi, pp := w.direct(src, t.Pos[i], i)
 			out[t.Perm[i]] += phi
@@ -169,7 +211,32 @@ func (w *batchWorker) leafPotentials(leaf *tree.Node, out []float64) {
 			}
 		}
 	}
-	w.finish(leaf)
+	if w.shard != nil {
+		w.shard.Refine(w.refChecks, w.refAccepts)
+	}
+}
+
+// census records the per-leaf traversal census from the plan: one bulk
+// rejection of the leaf's particle count at every opened node and every
+// directly-summed source leaf (matching the walk, which rejects once per
+// particle there), and the shared-list batch tallies. Recorded per
+// evaluation — not per collect — so a cached plan yields the same census a
+// fresh traversal would.
+func (w *batchWorker) census(entries []planEntry, leaf *tree.Node) {
+	if w.shard == nil {
+		return
+	}
+	count := int64(leaf.Count())
+	var m2p int64
+	for k := range entries {
+		switch entries[k].kind {
+		case planM2P:
+			m2p++
+		case planP2P, planOpen:
+			w.shard.RejectN(entries[k].node.Level, count)
+		}
+	}
+	w.shard.BatchLeaf(m2p, m2p*count)
 }
 
 // fusedM2P is acceptM2P with the batched mode's kernels: the fused
@@ -211,24 +278,41 @@ func (w *batchWorker) refine(n *tree.Node, x vec.V3, self int) float64 {
 // leafFields is leafPotentials' potential+field counterpart.
 //
 //treecode:hot
-func (w *batchWorker) leafFields(leaf *tree.Node, phi []float64, field []vec.V3) {
-	w.begin(leaf)
+func (w *batchWorker) leafFields(li int, phi []float64, field []vec.V3) {
+	pl := &w.e.plans[li]
+	leaf := pl.leaf
+	entries := w.acquire(pl)
+	w.census(entries, leaf)
+	w.refChecks = 0
+	w.refAccepts = 0
 	t := w.e.Tree
-	for _, n := range w.m2p {
+	for k := range entries {
+		if entries[k].kind != planM2P {
+			continue
+		}
+		n := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
 			p, f := w.acceptM2PField(n, t.Pos[i])
 			phi[t.Perm[i]] += p
 			field[t.Perm[i]] = field[t.Perm[i]].Add(f)
 		}
 	}
-	for _, n := range w.band {
+	for k := range entries {
+		if entries[k].kind != planBand {
+			continue
+		}
+		n := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
 			p, f := w.refineField(n, t.Pos[i], i)
 			phi[t.Perm[i]] += p
 			field[t.Perm[i]] = field[t.Perm[i]].Add(f)
 		}
 	}
-	for _, src := range w.p2p {
+	for k := range entries {
+		if entries[k].kind != planP2P {
+			continue
+		}
+		src := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
 			p, f, pp := w.directField(src, t.Pos[i], i)
 			phi[t.Perm[i]] += p
@@ -239,7 +323,9 @@ func (w *batchWorker) leafFields(leaf *tree.Node, phi []float64, field []vec.V3)
 			}
 		}
 	}
-	w.finish(leaf)
+	if w.shard != nil {
+		w.shard.Refine(w.refChecks, w.refAccepts)
+	}
 }
 
 // refineField is refine's potential+field counterpart.
@@ -262,8 +348,10 @@ func (w *batchWorker) refineField(n *tree.Node, x vec.V3, self int) (float64, ve
 // called with the particle's tree-order index, the accepted node and its
 // evaluation degree; particle with the target and source tree-order
 // indices. The equivalence tests compare this against VisitInteractions
-// per particle. Requires a SphereMAC (as Validate enforces for batched
-// runs).
+// per particle, and the plan-parity tests compare it against cached-plan
+// classifications — it deliberately re-traverses recursively with the
+// boolean sphere tests, independent of the plan machinery. Requires a
+// SphereMAC (as Validate enforces for batched runs).
 func (e *Evaluator) VisitBatchedInteractions(leaf *tree.Node,
 	cluster func(i int, n *tree.Node, degree int), particle func(i, j int)) {
 	smac := e.Cfg.MAC.(mac.SphereMAC)

@@ -47,6 +47,9 @@ func TestBatchedRaceSharedCollector(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The serial warm-up also builds every leaf's interaction plan, so the
+	// concurrent evaluations below stay on the read-only plan hit path —
+	// the contract under which batched evaluations may overlap.
 	single, _ := e.Potentials()
 	want := col.Metrics()
 
@@ -88,6 +91,10 @@ func TestBatchedRaceFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Warm the plan store first: concurrent batched evaluations are only
+	// safe once every leaf's plan is built (plan building mutates the
+	// evaluator; plan hits are read-only).
+	e.Fields()
 	var wg sync.WaitGroup
 	wg.Add(3)
 	for c := 0; c < 3; c++ {

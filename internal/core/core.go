@@ -256,6 +256,7 @@ type Evaluator struct {
 
 	upDegree map[*tree.Node]int // degree expansions are carried at
 	leaves   []*tree.Node       // tree-ordered leaves: batched mode's task list
+	plans    []leafPlan         // cached interaction plans, index-aligned with leaves (plan.go)
 	maxP     int                // largest carried degree (scratch sizing)
 	buildT   time.Duration
 }
@@ -304,6 +305,7 @@ func (e *Evaluator) construct(set *points.Set) error {
 	}
 	e.Upward()
 	e.leaves = tr.Leaves()
+	e.plans = nil // a fresh tree shares no nodes with any cached plan
 	e.buildT = time.Since(start)
 	return nil
 }
@@ -341,6 +343,11 @@ func (e *Evaluator) Update(pos []vec.V3) (RebuildKind, error) {
 		e.Cfg.Obs.AddRefit(obs.RefitMetrics{Updates: 1, Rebuilds: 1,
 			Migrants: int64(st.Migrants), RadiusInflationMax: st.MaxInflation})
 		e.Cfg.Obs.AddEvent(obs.EventRebuildFallback, st.RebuildReason(), float64(st.Migrants))
+		if e.plans != nil {
+			// Full invalidation: the rebuilt tree shares no nodes with the
+			// cached plans, so every leaf re-traverses from scratch.
+			e.Cfg.Obs.AddPlanDrop("full rebuild: "+st.RebuildReason(), int64(len(e.plans)))
+		}
 		return RebuildFull, e.construct(e.snapshotSet(pos))
 	}
 	if st.Migrants > 0 {
@@ -359,6 +366,13 @@ func (e *Evaluator) Update(pos []vec.V3) (RebuildKind, error) {
 		e.leaves = t.Leaves()
 		c.End()
 	}
+	// Revalidate cached interaction plans against this refit's drift before
+	// handing back to evaluation: realign the store when the decomposition
+	// changed, then consume each node's recorded geometry drift against the
+	// slack every plan entry was cached with.
+	c = sp.Child("plans")
+	e.revalidatePlans(st.Migrants)
+	c.End()
 	c = sp.Child("upward")
 	e.upward(e.Cfg.Workers)
 	c.End()
@@ -517,8 +531,14 @@ func (e *Evaluator) Potentials() ([]float64, *Stats) {
 }
 
 // PotentialsWithWorkers is Potentials with an explicit worker count for
-// this call only (0 means GOMAXPROCS). It does not mutate the evaluator,
-// so concurrent calls with different worker counts are safe.
+// this call only (0 means GOMAXPROCS). In walk mode it does not mutate the
+// evaluator, so concurrent calls with different worker counts are safe. In
+// batched mode a call may build or repair the persistent interaction plans,
+// so a call that follows construction or Update must not overlap another
+// evaluation (or Update); once the plan store is warm and intact — at least
+// one evaluation since the last Update — further evaluations only read the
+// plans and may run concurrently. The results are bitwise independent of
+// the worker count either way.
 func (e *Evaluator) PotentialsWithWorkers(workers int) ([]float64, *Stats) {
 	t := e.Tree
 	n := len(t.Pos)
@@ -527,8 +547,8 @@ func (e *Evaluator) PotentialsWithWorkers(workers int) ([]float64, *Stats) {
 	sp := e.Cfg.Obs.Start("core/potentials")
 	start := time.Now()
 	if e.Cfg.Eval == EvalBatched {
-		e.batchedLeaves(workers, sp, stats, func(w *batchWorker, leaf *tree.Node) {
-			w.leafPotentials(leaf, out)
+		e.batchedLeaves(workers, sp, stats, func(w *batchWorker, li int) {
+			w.leafPotentials(li, out)
 		})
 	} else {
 		e.parallelChunks(n, workers, func(lo, hi int, w *worker) {
@@ -570,8 +590,8 @@ func (e *Evaluator) Fields() ([]float64, []vec.V3, *Stats) {
 	sp := e.Cfg.Obs.Start("core/fields")
 	start := time.Now()
 	if e.Cfg.Eval == EvalBatched {
-		e.batchedLeaves(e.Cfg.Workers, sp, stats, func(w *batchWorker, leaf *tree.Node) {
-			w.leafFields(leaf, phi, field)
+		e.batchedLeaves(e.Cfg.Workers, sp, stats, func(w *batchWorker, li int) {
+			w.leafFields(li, phi, field)
 		})
 	} else {
 		e.parallelChunks(n, e.Cfg.Workers, func(lo, hi int, w *worker) {

@@ -152,9 +152,9 @@ func hotFunctionRanges(t *testing.T, root string, dirs ...string) map[string][][
 }
 
 // TestBatchedLeafKernelZeroAllocs pins the steady-state batched kernels at
-// zero allocations: once a worker's interaction lists have reached their
-// high-water capacity, whole evaluation passes (potentials and fields, all
-// leaves) must not allocate at all.
+// zero allocations: once every leaf's interaction plan is built (the warm-up
+// pass), whole evaluation passes (potentials and fields, all leaves) serve
+// plans from the cache and must not allocate at all.
 func TestBatchedLeafKernelZeroAllocs(t *testing.T) {
 	set, err := points.Generate(points.Gaussian, 2000, 31)
 	if err != nil {
@@ -168,13 +168,14 @@ func TestBatchedLeafKernelZeroAllocs(t *testing.T) {
 		worker: worker{e: e, buf: make([]complex128, harmonics.Len(e.maxP+1))},
 		smac:   e.Cfg.MAC.(mac.SphereMAC),
 	}
+	e.ensurePlans()
 	out := make([]float64, set.N())
-	for _, leaf := range e.leaves {
-		w.leafPotentials(leaf, out) // warm-up: grow the reused lists
+	for li := range e.leaves {
+		w.leafPotentials(li, out) // warm-up: build every leaf's plan
 	}
 	if a := testing.AllocsPerRun(3, func() {
-		for _, leaf := range e.leaves {
-			w.leafPotentials(leaf, out)
+		for li := range e.leaves {
+			w.leafPotentials(li, out)
 		}
 	}); a != 0 {
 		t.Fatalf("steady-state leafPotentials pass allocates %v times", a)
@@ -182,12 +183,12 @@ func TestBatchedLeafKernelZeroAllocs(t *testing.T) {
 
 	phi := make([]float64, set.N())
 	field := make([]vec.V3, set.N())
-	for _, leaf := range e.leaves {
-		w.leafFields(leaf, phi, field)
+	for li := range e.leaves {
+		w.leafFields(li, phi, field)
 	}
 	if a := testing.AllocsPerRun(3, func() {
-		for _, leaf := range e.leaves {
-			w.leafFields(leaf, phi, field)
+		for li := range e.leaves {
+			w.leafFields(li, phi, field)
 		}
 	}); a != 0 {
 		t.Fatalf("steady-state leafFields pass allocates %v times", a)

@@ -185,6 +185,14 @@ func (e *Evaluator) construct(set *points.Set) error {
 // within the fresh-build error bound) and the upward pass reuses expansion
 // storage; the drift policy falls back to a full parallel rebuild. It must
 // not run concurrently with Potentials.
+//
+// Unlike the treecode's batched evaluator, the FMM re-derives its M2L/P2P
+// pair lists by a fresh dual-tree traversal on every evaluation: the
+// separation test rA + rB <= alpha*d has the same signed-margin structure
+// the plan cache revalidates in core (internal/core/plan.go), so the same
+// slack bookkeeping would carry the pair lists across refits, but the FMM
+// traversal is a far smaller share of its evaluation time (M2L dominates),
+// so the cache has not been mirrored here.
 func (e *Evaluator) Update(pos []vec.V3) (core.RebuildKind, error) {
 	t := e.Tree
 	if len(pos) != len(t.Pos) {

@@ -19,10 +19,14 @@ const hotMarker = "//treecode:hot"
 
 // HotAlloc flags per-call allocations inside functions annotated
 // //treecode:hot: fmt.Sprintf/Errorf-style formatting, interface boxing
-// of concrete values (each conversion may heap-allocate), and append to
-// slices created without capacity in the same function. These are the
-// inner loops the paper's serial cost metric counts; an allocation per
-// interaction turns an O(n log n) evaluation into a GC benchmark.
+// of concrete values (each conversion may heap-allocate), append to
+// slices created without capacity in the same function, and append to
+// struct-field slices (`w.stack`, `pl.entries`) unless the function
+// first reslices them to reuse their backing array (`x.f = x.f[:0]`,
+// or the fused `x.f = append(x.f[:0], seed)`) or makes them with
+// capacity. These are the inner loops the paper's serial cost metric
+// counts; an allocation per interaction turns an O(n log n) evaluation
+// into a GC benchmark.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "flags allocations inside //treecode:hot functions",
@@ -72,9 +76,14 @@ func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
-			if target, ok := unparen(call.Args[0]).(*ast.Ident); ok {
+			switch target := unparen(call.Args[0]).(type) {
+			case *ast.Ident:
 				if dest, isLocal := localSliceOrigin(fd, target.Name); isLocal && !preallocated[target.Name] {
 					p.Report(call.Pos(), "append to %s, which is %s, reallocates as it grows in a //treecode:hot function; preallocate with make(..., 0, cap) or reuse a scratch slice (s[:0])", target.Name, dest)
+				}
+			case *ast.SelectorExpr:
+				if path, ok := lvalPath(target); ok && !preallocated[path] {
+					p.Report(call.Pos(), "append to field %s reallocates as it grows in a //treecode:hot function; adopt the plan-store reuse idiom (%s = %s[:0] before the loop, or make with capacity)", path, path, path)
 				}
 			}
 			return true
@@ -196,8 +205,9 @@ func describeSliceInit(e ast.Expr) (string, bool) {
 	return "", false
 }
 
-// collectPreallocated returns local slice names that are ever created with
-// an explicit capacity inside fd, which approves later appends to them:
+// collectPreallocated returns the slice lvalues — local names and
+// struct-field paths alike — that are ever created with an explicit
+// capacity inside fd, which approves later appends to them:
 //
 //   - make with 3 args (`s := make([]T, 0, cap)`);
 //   - a slice expression over existing storage (`out = w.scratch[:0]`,
@@ -205,7 +215,10 @@ func describeSliceInit(e ast.Expr) (string, bool) {
 //     evaluators, which carries the backing array's capacity with it, so
 //     appends up to that capacity do not allocate. A capped three-index
 //     slice (`s[:0:0]`) does NOT count: capping to zero forces the next
-//     append to reallocate, which is the copy-on-append idiom, not reuse.
+//     append to reallocate, which is the copy-on-append idiom, not reuse;
+//   - the fused reslice-and-seed spelling the plan store uses,
+//     `w.stack = append(w.stack[:0], root)`, which is the two-statement
+//     reuse idiom with the first element folded in.
 func collectPreallocated(fd *ast.FuncDecl) map[string]bool {
 	out := make(map[string]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -214,24 +227,63 @@ func collectPreallocated(fd *ast.FuncDecl) map[string]bool {
 			return true
 		}
 		for i, lhs := range s.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok || i >= len(s.Rhs) {
+			if i >= len(s.Rhs) {
 				continue
 			}
-			switch rhs := unparen(s.Rhs[i]).(type) {
-			case *ast.CallExpr:
-				if fn, ok := rhs.Fun.(*ast.Ident); ok && fn.Name == "make" && len(rhs.Args) >= 3 {
-					out[id.Name] = true
-				}
-			case *ast.SliceExpr:
-				if !capsToZero(rhs) {
-					out[id.Name] = true
-				}
+			path, ok := lvalPath(lhs)
+			if !ok {
+				continue
+			}
+			if approvesReuse(s.Rhs[i]) {
+				out[path] = true
 			}
 		}
 		return true
 	})
 	return out
+}
+
+// approvesReuse reports whether an assignment RHS establishes reusable
+// capacity for its target: make with explicit capacity, a non-capping
+// slice expression, or an append seeded from a non-capping slice
+// expression (`append(s[:0], ...)`).
+func approvesReuse(e ast.Expr) bool {
+	switch rhs := unparen(e).(type) {
+	case *ast.CallExpr:
+		fn, ok := rhs.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if fn.Name == "make" && len(rhs.Args) >= 3 {
+			return true
+		}
+		if fn.Name == "append" && len(rhs.Args) > 0 {
+			if se, ok := unparen(rhs.Args[0]).(*ast.SliceExpr); ok {
+				return !capsToZero(se)
+			}
+		}
+	case *ast.SliceExpr:
+		return !capsToZero(rhs)
+	}
+	return false
+}
+
+// lvalPath renders an append target or assignment LHS as a stable key:
+// "out" for a plain identifier, "w.stack" for a field chain. Anything
+// else — index expressions, calls, dereferences with parens — is out of
+// scope for the syntactic rule.
+func lvalPath(e ast.Expr) (string, bool) {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := lvalPath(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	}
+	return "", false
 }
 
 // capsToZero reports whether a slice expression explicitly caps capacity

@@ -60,6 +60,38 @@ func hotCappedSlice(w *worker, xs []float64) []float64 {
 	return out
 }
 
+// hotFieldAppend grows a struct-field slice with no reuse idiom in sight:
+// every call past the backing array's capacity reallocates.
+//
+//treecode:hot
+func hotFieldAppend(w *worker, xs []float64) {
+	for _, x := range xs {
+		w.scratch = append(w.scratch, x) // WANT hotalloc
+	}
+}
+
+// hotFieldReuse is the plan-store idiom: reslicing the field to zero
+// length keeps the backing array, so steady-state appends stay in place.
+//
+//treecode:hot
+func hotFieldReuse(w *worker, xs []float64) {
+	w.scratch = w.scratch[:0]
+	for _, x := range xs {
+		w.scratch = append(w.scratch, x) // exempt: field resliced for reuse
+	}
+}
+
+// hotFieldSeededReuse fuses the reslice with the first append, the way the
+// plan collector seeds its explicit traversal stack.
+//
+//treecode:hot
+func hotFieldSeededReuse(w *worker, xs []float64) {
+	w.scratch = append(w.scratch[:0], 1)
+	for _, x := range xs {
+		w.scratch = append(w.scratch, x) // exempt: seeded from a reslice of itself
+	}
+}
+
 type sink interface{ Put(v any) }
 
 //treecode:hot

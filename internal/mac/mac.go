@@ -10,6 +10,7 @@ package mac
 
 import (
 	"fmt"
+	"math"
 
 	"treecode/internal/tree"
 	"treecode/internal/vec"
@@ -53,6 +54,24 @@ type SphereMAC interface {
 	// RejectSphere reports whether every target within distance rho of c
 	// rejects node n.
 	RejectSphere(c vec.V3, rho float64, n *tree.Node) bool
+	// SphereSlacks returns the signed margins of the two sphere tests:
+	// accept = alpha*(r-rho) - extent (>= 0 exactly when AcceptSphere
+	// holds) and reject = extent - alpha*(r+rho) (> 0 exactly when
+	// RejectSphere holds). The sign equivalences are exact in IEEE
+	// arithmetic — b-a >= 0 iff a <= b for finite floats — so callers may
+	// classify from the slacks and cache the margins for later
+	// revalidation: a decision survives geometric drift as long as the
+	// total motion of the quantities it read (extent, reference point,
+	// target sphere) stays below the stored slack. Both margins stay
+	// finite even when the target sphere overlaps the reference point
+	// (r <= rho): the finite accept margin is what bounds the distance to
+	// a band-to-accept flip, so a cached band decision can be invalidated
+	// before drift carries it across the accept boundary. In the one
+	// degenerate case where the finite expression is zero but AcceptSphere
+	// is false (extent = 0 with the target sphere exactly touching the
+	// reference point), the margin is clamped infinitesimally negative —
+	// the flip distance genuinely is zero there.
+	SphereSlacks(c vec.V3, rho float64, n *tree.Node) (accept, reject float64)
 }
 
 // Alpha is the paper's criterion in its sharp, radius-based form:
@@ -83,6 +102,17 @@ func (m Alpha) RejectSphere(c vec.V3, rho float64, n *tree.Node) bool {
 	return n.Radius > m.Alpha*(c.Dist(n.Center)+rho)
 }
 
+// SphereSlacks implements SphereMAC with extent a and reference point the
+// expansion center; the products mirror AcceptSphere/RejectSphere exactly
+// so the slack signs reproduce the booleans bit for bit.
+func (m Alpha) SphereSlacks(c vec.V3, rho float64, n *tree.Node) (accept, reject float64) {
+	d := c.Dist(n.Center)
+	r := d - rho
+	accept = acceptSlack(m.Alpha, r, n.Radius)
+	reject = n.Radius - m.Alpha*(d+rho)
+	return accept, reject
+}
+
 // BoxAlpha is the box-dimension form used operationally by Barnes-Hut
 // codes: accept when s/r <= alpha with s the box edge length. Since the
 // cluster radius satisfies a <= s*sqrt(3)/2, BoxAlpha{alpha} implies
@@ -110,6 +140,17 @@ func (m BoxAlpha) RejectSphere(c vec.V3, rho float64, n *tree.Node) bool {
 	return n.Size() > m.Alpha*(c.Dist(n.Center)+rho)
 }
 
+// SphereSlacks implements SphereMAC with extent s (the box edge, constant
+// under refits) and reference point the expansion center.
+func (m BoxAlpha) SphereSlacks(c vec.V3, rho float64, n *tree.Node) (accept, reject float64) {
+	d := c.Dist(n.Center)
+	r := d - rho
+	s := n.Size()
+	accept = acceptSlack(m.Alpha, r, s)
+	reject = s - m.Alpha*(d+rho)
+	return accept, reject
+}
+
 // MinDist is a conservative variant accepting only if the whole box
 // (not just its particles) is far: accept when halfdiag(box)/dist(x, box
 // center) <= alpha. Useful as a worst-case baseline in tests.
@@ -135,4 +176,32 @@ func (m MinDist) AcceptSphere(c vec.V3, rho float64, n *tree.Node) bool {
 // RejectSphere implements SphereMAC: halfdiag > alpha*(r + rho).
 func (m MinDist) RejectSphere(c vec.V3, rho float64, n *tree.Node) bool {
 	return n.Box.HalfDiagonal() > m.Alpha*(c.Dist(n.Box.Center())+rho)
+}
+
+// SphereSlacks implements SphereMAC with extent halfdiag(box) and reference
+// point the box center (both constant under refits, so only target-sphere
+// drift can erode these slacks).
+func (m MinDist) SphereSlacks(c vec.V3, rho float64, n *tree.Node) (accept, reject float64) {
+	d := c.Dist(n.Box.Center())
+	r := d - rho
+	h := n.Box.HalfDiagonal()
+	accept = acceptSlack(m.Alpha, r, h)
+	reject = h - m.Alpha*(d+rho)
+	return accept, reject
+}
+
+// acceptSlack is the shared finite accept margin alpha*r - extent, with the
+// exact-parity guard for the degenerate zero-extent, zero-distance case:
+// AcceptSphere demands r > 0 strictly, so when extent = 0 and r = 0 the
+// boolean is false while the expression is zero — and the flip distance is
+// genuinely zero, so the margin is clamped to the smallest negative float.
+// Everywhere else sign(alpha*r - extent >= 0) equals AcceptSphere: a
+// nonnegative margin with extent > 0 forces alpha*r >= extent > 0, hence
+// r > 0.
+func acceptSlack(alpha, r, extent float64) float64 {
+	s := alpha*r - extent
+	if s >= 0 && r <= 0 {
+		return -math.SmallestNonzeroFloat64
+	}
+	return s
 }

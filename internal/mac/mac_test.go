@@ -196,3 +196,48 @@ func TestZeroDistanceRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestSphereSlackSignsMatchBooleans pins the contract the plan cache builds
+// on: for every node and target sphere — including spheres that swallow the
+// node's reference point — the slack signs reproduce the boolean sphere
+// tests exactly, and both margins stay finite. A non-finite accept margin
+// would lose the distance to a band-to-accept flip, letting geometric drift
+// silently change a cached classification.
+func TestSphereSlackSignsMatchBooleans(t *testing.T) {
+	tr := buildTree(t)
+	macs := []SphereMAC{Alpha{0.5}, Alpha{0.9}, BoxAlpha{0.6}, MinDist{0.7}}
+	centers := []vec.V3{
+		{X: 0.5, Y: 0.5, Z: 0.5},
+		{X: 1.5, Y: 0.2, Z: 0.9},
+		{X: -0.3, Y: 0.4, Z: 0.1},
+	}
+	radii := []float64{0, 0.01, 0.1, 0.5, 4} // 4 swallows the whole tree: r - rho < 0 everywhere
+	var overlaps int
+	for _, m := range macs {
+		for _, c := range centers {
+			for _, rho := range radii {
+				tr.Walk(func(n *tree.Node) {
+					acc, rej := m.SphereSlacks(c, rho, n)
+					if math.IsInf(acc, 0) || math.IsInf(rej, 0) || math.IsNaN(acc) || math.IsNaN(rej) {
+						t.Fatalf("%s: non-finite slacks (%g, %g) for sphere (%v, %g) at level %d", m, acc, rej, c, rho, n.Level)
+					}
+					if (acc >= 0) != m.AcceptSphere(c, rho, n) {
+						t.Fatalf("%s: accept slack %g sign disagrees with AcceptSphere for sphere (%v, %g) at level %d", m, acc, c, rho, n.Level)
+					}
+					if (rej > 0) != m.RejectSphere(c, rho, n) {
+						t.Fatalf("%s: reject slack %g sign disagrees with RejectSphere for sphere (%v, %g) at level %d", m, rej, c, rho, n.Level)
+					}
+					if c.Dist(n.Center) <= rho {
+						overlaps++
+						if acc >= 0 {
+							t.Fatalf("%s: overlapping sphere (%v, %g) has nonnegative accept slack %g at level %d", m, c, rho, acc, n.Level)
+						}
+					}
+				})
+			}
+		}
+	}
+	if overlaps == 0 {
+		t.Fatal("no overlapping sphere cases exercised; widen the radius grid")
+	}
+}

@@ -45,6 +45,7 @@ type MetricsData struct {
 	BudgetTotal  float64          `json:"budget_total"`
 	Batch        BatchMetrics     `json:"batch"`
 	Refit        RefitMetrics     `json:"refit"`
+	Plan         PlanMetrics      `json:"plan"`
 }
 
 // SeriesData is the exported per-step time series: the retained window,
@@ -92,6 +93,7 @@ func (c *Collector) Snapshot() Snapshot {
 	md.OpenRatio = ratio
 	md.Batch = m.Batch
 	md.Refit = m.Refit
+	md.Plan = m.Plan
 	for l, lm := range m.Levels {
 		if lm == (LevelMetrics{}) {
 			continue

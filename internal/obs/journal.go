@@ -18,6 +18,11 @@ const (
 	// inflation crossed the warning threshold — the drift policy is
 	// approaching its fallback limit. Value is the inflation ratio.
 	EventRadiusInflation = "radius-inflation"
+	// EventPlanInvalidate: cached interaction-plan entries were lost — a
+	// revalidation pass found drift exceeding stored slack (Value is the
+	// invalidated entry count) or a full rebuild dropped the whole store
+	// (Value is the dropped plan count). Reason distinguishes the cause.
+	EventPlanInvalidate = "plan-invalidate"
 )
 
 // InflationWarnRatio is the radius-inflation ratio above which a

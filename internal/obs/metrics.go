@@ -85,6 +85,46 @@ func (b *BatchMetrics) add(o *BatchMetrics) {
 	b.Steals += o.Steals
 }
 
+// PlanMetrics counts what the persistent interaction-plan cache did: how
+// target-leaf plan acquisitions resolved (served intact, repaired, built
+// from scratch), how many cached entries were reused versus re-derived by
+// traversal, what the revalidation passes checked and invalidated, how
+// often the whole store was dropped, and how much traversal (collect) time
+// the build/repair paths actually spent.
+type PlanMetrics struct {
+	LeafHits       int64 `json:"leaf_hits"`       // plans served intact, no traversal
+	LeafRepairs    int64 `json:"leaf_repairs"`    // plans repaired (invalid spans re-collected)
+	LeafBuilds     int64 `json:"leaf_builds"`     // plans built from scratch
+	EntriesReused  int64 `json:"entries_reused"`  // cached entries served without re-derivation
+	EntriesRebuilt int64 `json:"entries_rebuilt"` // entries produced by collect (build or repair)
+	Checked        int64 `json:"checked"`         // entries examined by revalidation passes
+	Invalidated    int64 `json:"invalidated"`     // entries revalidation marked for repair
+	Drops          int64 `json:"drops"`           // whole-store drops (full rebuilds)
+	CollectNS      int64 `json:"collect_ns"`      // traversal time spent building/repairing plans
+}
+
+func (p *PlanMetrics) add(o *PlanMetrics) {
+	p.LeafHits += o.LeafHits
+	p.LeafRepairs += o.LeafRepairs
+	p.LeafBuilds += o.LeafBuilds
+	p.EntriesReused += o.EntriesReused
+	p.EntriesRebuilt += o.EntriesRebuilt
+	p.Checked += o.Checked
+	p.Invalidated += o.Invalidated
+	p.Drops += o.Drops
+	p.CollectNS += o.CollectNS
+}
+
+// ReuseFrac returns the fraction of plan entries served from cache,
+// reused/(reused+rebuilt), or 0 when no batched evaluation ran.
+func (p *PlanMetrics) ReuseFrac() float64 {
+	tot := p.EntriesReused + p.EntriesRebuilt
+	if tot == 0 {
+		return 0
+	}
+	return float64(p.EntriesReused) / float64(tot)
+}
+
 // RefitMetrics counts what the persistent-engine maintenance passes
 // (Evaluator.Update) saw and did: how many updates ran, which path each
 // took (in-place refit vs drift-policy fallback to a full rebuild), and
@@ -123,6 +163,7 @@ type Metrics struct {
 	DegreeClamps int64          // degree selections clamped at the stability cap
 	Batch        BatchMetrics   // leaf-batched evaluation counters (zero for walk mode)
 	Refit        RefitMetrics   // persistent-engine maintenance counters
+	Plan         PlanMetrics    // interaction-plan cache counters (zero for walk mode)
 }
 
 // Accepts returns the total MAC acceptances across levels.
@@ -201,6 +242,7 @@ func (m *Metrics) mergeFrom(o *Metrics) {
 	m.DegreeClamps += o.DegreeClamps
 	m.Batch.add(&o.Batch)
 	m.Refit.add(&o.Refit)
+	m.Plan.add(&o.Plan)
 }
 
 func (m *Metrics) clone() Metrics {
@@ -286,6 +328,40 @@ func (s *Shard) Refine(checks, accepts int64) {
 	}
 	s.m.Batch.RefineChecks += checks
 	s.m.Batch.RefineAccepts += accepts
+}
+
+// PlanHit records one target-leaf plan served intact from the cache, with
+// all cached entries reused as-is.
+func (s *Shard) PlanHit(entries int64) {
+	if s == nil {
+		return
+	}
+	s.m.Plan.LeafHits++
+	s.m.Plan.EntriesReused += entries
+}
+
+// PlanBuild records one target-leaf plan built from scratch: entries
+// entries produced by ns nanoseconds of traversal.
+func (s *Shard) PlanBuild(entries, ns int64) {
+	if s == nil {
+		return
+	}
+	s.m.Plan.LeafBuilds++
+	s.m.Plan.EntriesRebuilt += entries
+	s.m.Plan.CollectNS += ns
+}
+
+// PlanRepair records one target-leaf plan repair: reused entries copied
+// from the cached plan, rebuilt entries re-derived by ns nanoseconds of
+// traversal over the invalidated spans.
+func (s *Shard) PlanRepair(reused, rebuilt, ns int64) {
+	if s == nil {
+		return
+	}
+	s.m.Plan.LeafRepairs++
+	s.m.Plan.EntriesReused += reused
+	s.m.Plan.EntriesRebuilt += rebuilt
+	s.m.Plan.CollectNS += ns
 }
 
 // Direct records pairs direct particle-particle interactions against a

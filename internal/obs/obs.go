@@ -128,6 +128,49 @@ func (c *Collector) AddRefit(r RefitMetrics) {
 	c.mu.Unlock()
 }
 
+// AddPlanRevalidate folds one plan-revalidation pass into the plan
+// metrics: checked entries examined, invalidated entries whose drift
+// exceeded their stored slack (journaled as an EventPlanInvalidate when
+// non-zero, so lost reuse is attributable to a step). Recorded once per
+// Evaluator.Update, like AddRefit. Nil-safe.
+func (c *Collector) AddPlanRevalidate(checked, invalidated int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.metrics.Plan.Checked += checked
+	c.metrics.Plan.Invalidated += invalidated
+	if invalidated > 0 {
+		c.journal.add(Event{
+			TimeNS: time.Since(c.epoch).Nanoseconds(),
+			Step:   c.curStep,
+			Kind:   EventPlanInvalidate,
+			Reason: "geometry drift exceeded cached plan slack",
+			Value:  float64(invalidated),
+		})
+	}
+	c.mu.Unlock()
+}
+
+// AddPlanDrop records one whole-store plan drop (a full tree rebuild
+// discarding plans leaf plans), journaling an EventPlanInvalidate with the
+// given reason. Nil-safe.
+func (c *Collector) AddPlanDrop(reason string, plans int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.metrics.Plan.Drops++
+	c.journal.add(Event{
+		TimeNS: time.Since(c.epoch).Nanoseconds(),
+		Step:   c.curStep,
+		Kind:   EventPlanInvalidate,
+		Reason: reason,
+		Value:  float64(plans),
+	})
+	c.mu.Unlock()
+}
+
 // Metrics returns a deep copy of the merged interaction metrics. Nil-safe:
 // a nil collector yields the zero Metrics.
 func (c *Collector) Metrics() Metrics {

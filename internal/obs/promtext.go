@@ -137,6 +137,20 @@ func WritePrometheus(w io.Writer, c *Collector) error {
 	p.head("treecode_steals_total", "counter", "Work-stealing scheduler steal events.")
 	p.sample("treecode_steals_total", float64(m.Batch.Steals))
 
+	p.head("treecode_plan_leaves_total", "counter", "Target-leaf interaction-plan acquisitions by outcome (hit, repair, build).")
+	p.sample("treecode_plan_leaves_total", float64(m.Plan.LeafHits), "outcome", "hit")
+	p.sample("treecode_plan_leaves_total", float64(m.Plan.LeafRepairs), "outcome", "repair")
+	p.sample("treecode_plan_leaves_total", float64(m.Plan.LeafBuilds), "outcome", "build")
+	p.head("treecode_plan_entries_total", "counter", "Interaction-plan entries served by origin (reused from cache, rebuilt by traversal).")
+	p.sample("treecode_plan_entries_total", float64(m.Plan.EntriesReused), "origin", "reused")
+	p.sample("treecode_plan_entries_total", float64(m.Plan.EntriesRebuilt), "origin", "rebuilt")
+	p.head("treecode_plan_invalidated_total", "counter", "Plan entries invalidated by slack revalidation.")
+	p.sample("treecode_plan_invalidated_total", float64(m.Plan.Invalidated))
+	p.head("treecode_plan_drops_total", "counter", "Whole-store interaction-plan drops (full rebuilds).")
+	p.sample("treecode_plan_drops_total", float64(m.Plan.Drops))
+	p.head("treecode_plan_collect_seconds_total", "counter", "Traversal time spent building or repairing interaction plans.")
+	p.sample("treecode_plan_collect_seconds_total", float64(m.Plan.CollectNS)/1e9)
+
 	p.head("treecode_refit_updates_total", "counter", "Persistent-engine Update outcomes by kind (refit or full rebuild).")
 	p.sample("treecode_refit_updates_total", float64(m.Refit.Refits), "kind", "refit")
 	p.sample("treecode_refit_updates_total", float64(m.Refit.Rebuilds), "kind", "full")

@@ -44,6 +44,15 @@ type StepSample struct {
 
 	Steals int64 `json:"steals"` // work-stealing scheduler steals this step
 	Allocs int64 `json:"allocs"` // heap allocations (runtime mallocs) this step
+
+	// Interaction-plan cache activity of this step's evaluations:
+	// entries served from cache vs re-derived by traversal, the resulting
+	// reuse fraction (0 when no batched evaluation ran), and the traversal
+	// time spent building or repairing plans.
+	PlanReused    int64   `json:"plan_reused"`
+	PlanRebuilt   int64   `json:"plan_rebuilt"`
+	PlanReuse     float64 `json:"plan_reuse"`
+	PlanCollectNS int64   `json:"plan_collect_ns"`
 }
 
 // MeanMax is a running sum/max aggregate over one StepSample field. The
@@ -88,6 +97,8 @@ type SeriesRollup struct {
 	BudgetReal      MeanMax `json:"budget_real"`
 	Steals          MeanMax `json:"steals"`
 	Allocs          MeanMax `json:"allocs"`
+	PlanReuse       MeanMax `json:"plan_reuse"`
+	PlanCollect     MeanMax `json:"plan_collect_ns"`
 }
 
 func (r *SeriesRollup) add(s *StepSample) {
@@ -109,6 +120,8 @@ func (r *SeriesRollup) add(s *StepSample) {
 	r.BudgetReal.add(s.BudgetReal)
 	r.Steals.add(float64(s.Steals))
 	r.Allocs.add(float64(s.Allocs))
+	r.PlanReuse.add(s.PlanReuse)
+	r.PlanCollect.add(float64(s.PlanCollectNS))
 }
 
 // series is the bounded per-step ring buffer plus its whole-run rollup.
@@ -211,13 +224,16 @@ func (c *Collector) SeriesRollup() SeriesRollup {
 // a nil collector) makes StepEnd a no-op. It is a plain value — taking a
 // mark allocates nothing.
 type StepMark struct {
-	valid   bool
-	start   time.Time
-	mallocs uint64
-	budget  float64
-	steals  int64
-	migrant int64
-	updates int64
+	valid       bool
+	start       time.Time
+	mallocs     uint64
+	budget      float64
+	steals      int64
+	migrant     int64
+	updates     int64
+	planReused  int64
+	planRebuilt int64
+	planCollect int64
 }
 
 // StepBegin opens a per-step measurement window: it snapshots the
@@ -233,13 +249,16 @@ func (c *Collector) StepBegin() StepMark {
 	runtime.ReadMemStats(&ms)
 	c.mu.Lock()
 	mk := StepMark{
-		valid:   true,
-		start:   time.Now(),
-		mallocs: ms.Mallocs,
-		budget:  c.metrics.BudgetTotal(),
-		steals:  c.metrics.Batch.Steals,
-		migrant: c.metrics.Refit.Migrants,
-		updates: c.metrics.Refit.Updates,
+		valid:       true,
+		start:       time.Now(),
+		mallocs:     ms.Mallocs,
+		budget:      c.metrics.BudgetTotal(),
+		steals:      c.metrics.Batch.Steals,
+		migrant:     c.metrics.Refit.Migrants,
+		updates:     c.metrics.Refit.Updates,
+		planReused:  c.metrics.Plan.EntriesReused,
+		planRebuilt: c.metrics.Plan.EntriesRebuilt,
+		planCollect: c.metrics.Plan.CollectNS,
 	}
 	c.curStep = c.series.roll.Steps
 	c.mu.Unlock()
@@ -279,6 +298,12 @@ func (c *Collector) StepEnd(mk StepMark, info StepInfo) {
 		BudgetReal: info.BudgetReal,
 		Steals:     c.metrics.Batch.Steals - mk.steals,
 		Allocs:     int64(ms.Mallocs - mk.mallocs),
+	}
+	s.PlanReused = c.metrics.Plan.EntriesReused - mk.planReused
+	s.PlanRebuilt = c.metrics.Plan.EntriesRebuilt - mk.planRebuilt
+	s.PlanCollectNS = c.metrics.Plan.CollectNS - mk.planCollect
+	if tot := s.PlanReused + s.PlanRebuilt; tot > 0 {
+		s.PlanReuse = float64(s.PlanReused) / float64(tot)
 	}
 	if info.N > 0 {
 		s.MigrantFrac = float64(s.Migrants) / float64(info.N)

@@ -57,6 +57,22 @@ type Node struct {
 
 	Degree int                  // multipole degree selected by the evaluator
 	Mp     *multipole.Expansion // filled by the evaluator's upward pass
+
+	// Drift and shape bookkeeping for cached interaction plans (the
+	// persistent evaluator stores per-target-leaf traversal decisions and
+	// revalidates them against these fields instead of re-traversing).
+	//
+	// SrcDrift is how far the node moved *as a source cluster* in the last
+	// geometry refresh: |ΔCenter| + |ΔRadius|. TgtDrift is the same for the
+	// node's role as a target sphere: |ΔCentroid| + |ΔBRadius|. Both are
+	// per-refresh deltas (not cumulative); a cached decision consumes them
+	// once per Update. Shape is the tree's update sequence number at the
+	// moment the node's child list last changed structurally (0 for nodes
+	// never restructured, including all freshly built ones — Update
+	// sequence numbers start at 1).
+	SrcDrift float64
+	TgtDrift float64
+	Shape    int64
 }
 
 // IsLeaf reports whether the node has no children.
@@ -82,6 +98,12 @@ type Tree struct {
 	NLeaves int
 
 	levels [][]*Node // nodes grouped by level, Start-ascending within each
+
+	// seq counts Update passes (first Update is 1). Nodes whose child list
+	// is mutated during an Update are stamped with the current value in
+	// Node.Shape, so plan caches can detect structural change with one
+	// integer compare.
+	seq int64
 
 	// Compaction scratch of Update's relocation pass, kept across refits
 	// so steady timestepping reuses the storage.
@@ -396,6 +418,11 @@ func (t *Tree) scanMoments(lo, hi int) moments {
 	}
 	return m
 }
+
+// Seq returns the update sequence number: how many Update passes have run
+// on this tree. Node.Shape values equal to Seq() mark nodes restructured by
+// the most recent pass.
+func (t *Tree) Seq() int64 { return t.seq }
 
 // Walk visits every node in pre-order.
 func (t *Tree) Walk(f func(*Node)) { walk(t.Root, f) }

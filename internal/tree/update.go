@@ -39,6 +39,7 @@ package tree
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"treecode/internal/sched"
@@ -126,6 +127,7 @@ func (t *Tree) Update(pos []vec.V3, opts UpdateOpts) (UpdateStats, error) {
 		return st, fmt.Errorf("tree: %d positions for %d particles", len(pos), len(t.Pos))
 	}
 	opts.fill()
+	t.seq++
 	for i, orig := range t.Perm {
 		t.Pos[i] = pos[orig]
 	}
@@ -190,6 +192,7 @@ func (t *Tree) destLeaf(p vec.V3, st *UpdateStats) *Node {
 			n.Children = append(n.Children, nil)
 			copy(n.Children[at+1:], n.Children[at:])
 			n.Children[at] = next
+			n.Shape = t.seq
 			st.Splits++
 		}
 		n = next
@@ -265,6 +268,7 @@ func (t *Tree) restructure(n *Node, st *UpdateStats) {
 		if !n.IsLeaf() {
 			st.Merges += countLeaves(n) - 1
 			n.Children = nil
+			n.Shape = t.seq
 		}
 		return
 	}
@@ -283,6 +287,9 @@ func (t *Tree) restructure(n *Node, st *UpdateStats) {
 		}
 		kept = append(kept, c)
 	}
+	if len(kept) < len(n.Children) {
+		n.Shape = t.seq
+	}
 	n.Children = kept
 	for _, c := range n.Children {
 		t.restructure(c, st)
@@ -298,6 +305,7 @@ func (t *Tree) rebuildSubtree(n *Node) {
 	m := t.scanMoments(n.Start, n.End)
 	applyMoments(n, &m)
 	n.Children = nil
+	n.Shape = t.seq
 	b := builder{t: t}
 	b.grow(n)
 }
@@ -381,12 +389,22 @@ func (t *Tree) RefreshGeometry(workers int) float64 {
 // Returns the node's radius-inflation ratio (combine over cap, the larger
 // of the Center/Radius and Centroid/BRadius spheres), 0 for leaves.
 //
+// The pass also records the node's per-refresh drift for plan-cache
+// revalidation: SrcDrift bounds how much any MAC sphere-test margin that
+// read (Center, Radius) can have moved, TgtDrift the same for (Centroid,
+// BRadius). Both overestimate for criteria reading fewer fields (box-based
+// extents and reference points never move), which only errs conservative.
+//
 //treecode:hot
 func (t *Tree) refreshNode(n *Node) float64 {
+	oldCenter, oldRadius := n.Center, n.Radius
+	oldCentroid, oldBRadius := n.Centroid, n.BRadius
 	if n.IsLeaf() {
 		m := t.scanMoments(n.Start, n.End)
 		applyMoments(n, &m)
 		t.radiiScan(n)
+		n.SrcDrift = oldCenter.Dist(n.Center) + math.Abs(n.Radius-oldRadius)
+		n.TgtDrift = oldCentroid.Dist(n.Centroid) + math.Abs(n.BRadius-oldBRadius)
 		return 0
 	}
 	var m moments
@@ -426,5 +444,7 @@ func (t *Tree) refreshNode(n *Node) float64 {
 		b = capB
 	}
 	n.Radius, n.BRadius = r, b
+	n.SrcDrift = oldCenter.Dist(n.Center) + math.Abs(n.Radius-oldRadius)
+	n.TgtDrift = oldCentroid.Dist(n.Centroid) + math.Abs(n.BRadius-oldBRadius)
 	return infl
 }
