@@ -12,13 +12,17 @@ import (
 
 // TestCheckedInBenchDocument validates the repo-root BENCH_treecode.json
 // against the current schema: the document must parse into doc without
-// unknown-field drift, carry the v5 schema tag, embed the per-step obs
+// unknown-field drift, carry the v6 schema tag, embed the per-step obs
 // time series and the mandatory plan section, and its steps section must
 // show the persistent engine earning its keep — the 100k cell refits
 // without falling back, spends less tree-construction time than the
 // rebuild-every policy, stays within its Theorem 2 budget, and serves at
 // least 90% of its interaction-plan entries from the cache in steady
-// state. Parse-only (no benchmarks re-run), so it is safe in the tier-1
+// state. The v6 block cell must show the hierarchical block-timestep
+// scheme earning its keep at the acceptance scale: at least 5x fewer
+// force evaluations than a global-dt run on the same finest occupied
+// grid, with the mixed-age phi drift inside its extended Theorem 2
+// budget. Parse-only (no benchmarks re-run), so it is safe in the tier-1
 // suite.
 func TestCheckedInBenchDocument(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_treecode.json"))
@@ -42,7 +46,7 @@ func TestCheckedInBenchDocument(t *testing.T) {
 		t.Fatal("steps section missing; regenerate with cmd/benchjson default flags")
 	}
 
-	var saw100k bool
+	var saw100k, saw100kBlock bool
 	for _, s := range d.Steps {
 		if s.ConstructMS < 0 || s.MomentsMS < 0 || s.TotalMS <= 0 {
 			t.Errorf("steps[%s n=%d w=%d]: non-positive timings %+v", s.Policy, s.N, s.Workers, s)
@@ -69,8 +73,8 @@ func TestCheckedInBenchDocument(t *testing.T) {
 			if i == 0 || s.Policy == "every" {
 				want = "build"
 			}
-			if s.Policy == "auto" && s.Rebuilds > 0 {
-				continue // fallback steps may report "full"
+			if s.Policy != "every" && (s.Rebuilds > 0 || (s.Policy == "block" && i > 0)) {
+				continue // fallback (or later block macro) steps may report "full"
 			}
 			if sm.RefitKind != want {
 				t.Errorf("steps[%s n=%d w=%d] sample %d: kind %q, want %q",
@@ -130,12 +134,46 @@ func TestCheckedInBenchDocument(t *testing.T) {
 			if s.RadiusInflationMax != 0 && s.RadiusInflationMax < 1 {
 				t.Errorf("auto[n=%d w=%d]: radius inflation %v below 1", s.N, s.Workers, s.RadiusInflationMax)
 			}
+		case "block":
+			b := s.Block
+			if b == nil {
+				t.Errorf("block[n=%d w=%d]: missing block section (mandatory on block cells)", s.N, s.Workers)
+				continue
+			}
+			if b.Substeps <= 0 || b.ForceEvals <= 0 || b.GlobalEvals != int64(s.N)*b.Substeps {
+				t.Errorf("block[n=%d w=%d]: inconsistent eval counters %+v", s.N, s.Workers, b)
+			}
+			var occ int64
+			for _, c := range b.Occupancy {
+				occ += c
+			}
+			if len(b.Occupancy) != b.Rungs || occ != int64(s.N) {
+				t.Errorf("block[n=%d w=%d]: occupancy %v does not cover %d particles on %d rungs",
+					s.N, s.Workers, b.Occupancy, s.N, b.Rungs)
+			}
+			if b.PhiDrift > b.PhiBudget {
+				t.Errorf("block[n=%d w=%d]: mixed-age phi drift %v exceeds extended Theorem 2 budget %v",
+					s.N, s.Workers, b.PhiDrift, b.PhiBudget)
+			}
+			if s.N == 100000 {
+				saw100kBlock = true
+				// The headline acceptance claim: the rung hierarchy pays at
+				// least 5x fewer per-particle force evaluations than a
+				// global-dt integrator resolving the same finest grid.
+				if b.EvalReduction < 5 {
+					t.Errorf("block[n=%d w=%d]: eval reduction %.2fx below the 5x acceptance target",
+						s.N, s.Workers, b.EvalReduction)
+				}
+			}
 		default:
 			t.Errorf("unknown policy %q", s.Policy)
 		}
 	}
 	if !saw100k {
 		t.Error("no auto steps entry at n=100000; the acceptance-scale cell is missing")
+	}
+	if !saw100kBlock {
+		t.Error("no block steps entry at n=100000; the block-timestep acceptance cell is missing")
 	}
 
 	for _, p := range d.StepPairs {

@@ -26,6 +26,13 @@
 // steps entry carries the schema-v5 plan section (entry reuse fraction,
 // revalidation losses, traversal time saved).
 //
+// A block-timestep cell (-blockrungs, -blocketa, -blockcount) additionally
+// steps the same distribution under the hierarchical block scheme — finest
+// rung at -stepdt, macro step stepdt*2^(rungs-1) — against a global-dt
+// reference over the same physical time, and records the schema-v6 block
+// section: rung occupancy, force-evaluation reduction, trajectory gap, and
+// mixed-age phi drift against its Theorem 2 budget.
+//
 // The checked-in BENCH_treecode.json is produced by the default flags; CI
 // runs the short variant (-sizes 2000,8000 -reps 1 plus a small steps
 // cell) and uploads the result as an artifact.
@@ -96,27 +103,33 @@ func sumSpansMS(spans []obs.SpanData, name string) (float64, int) {
 }
 
 // runSteps advances one rebuild policy over a fresh copy of the seeded
-// initial state and returns its cost record plus the simulator (for the
-// cross-policy comparisons).
-func runSteps(dist string, n, workers, steps int, dt float64, seed int64, base core.Config, policy sim.RebuildPolicy) (stepResult, *sim.Simulator, error) {
-	sr := stepResult{Dist: dist, N: n, Workers: workers, Steps: steps, Dt: dt, Policy: policy.String()}
+// initial state and returns its cost record plus the simulator and the
+// collector (for the cross-policy comparisons and, in block mode, the rung
+// counters). The block config is the zero value for global-dt runs; label
+// overrides the recorded policy name when non-empty ("block" cells step
+// under the auto policy but are keyed separately).
+func runSteps(dist string, n, workers, steps int, dt float64, seed int64, base core.Config, policy sim.RebuildPolicy, block sim.BlockConfig, label string) (stepResult, *sim.Simulator, *obs.Collector, error) {
+	if label == "" {
+		label = policy.String()
+	}
+	sr := stepResult{Dist: dist, N: n, Workers: workers, Steps: steps, Dt: dt, Policy: label}
 	set, err := points.Generate(points.Distribution(dist), n, seed)
 	if err != nil {
-		return sr, nil, err
+		return sr, nil, nil, err
 	}
 	col := obs.New()
 	cfg := base
 	cfg.Workers = workers
 	cfg.Obs = col
 	s, err := sim.New(sim.State{Set: set, Vel: make([]vec.V3, set.N())}, sim.Config{
-		Dt: dt, Force: cfg, Rebuild: policy,
+		Dt: dt, Force: cfg, Rebuild: policy, Block: block,
 	})
 	if err != nil {
-		return sr, nil, err
+		return sr, nil, nil, err
 	}
 	start := time.Now()
 	if err := s.Run(steps); err != nil {
-		return sr, nil, err
+		return sr, nil, nil, err
 	}
 	sr.TotalMS = float64(time.Since(start)) / float64(time.Millisecond)
 	// A fresh construction emits core/build (tree sort + degree selection)
@@ -178,7 +191,7 @@ func runSteps(dist string, n, workers, steps int, dt float64, seed int64, base c
 		}
 	}
 	sr.Plan = plan
-	return sr, s, nil
+	return sr, s, col, nil
 }
 
 // measureSteps benchmarks the evaluator lifecycle across leapfrog steps:
@@ -188,11 +201,11 @@ func runSteps(dist string, n, workers, steps int, dt float64, seed int64, base c
 // engine's accuracy at the final positions.
 func measureSteps(dist string, n, workers, steps int, dt float64, seed int64, base core.Config) ([]stepResult, stepPair, error) {
 	sp := stepPair{Dist: dist, N: n, Workers: workers, Steps: steps, Dt: dt}
-	every, sE, err := runSteps(dist, n, workers, steps, dt, seed, base, sim.RebuildEvery)
+	every, sE, _, err := runSteps(dist, n, workers, steps, dt, seed, base, sim.RebuildEvery, sim.BlockConfig{}, "")
 	if err != nil {
 		return nil, sp, err
 	}
-	auto, sA, err := runSteps(dist, n, workers, steps, dt, seed, base, sim.RebuildAuto)
+	auto, sA, _, err := runSteps(dist, n, workers, steps, dt, seed, base, sim.RebuildAuto, sim.BlockConfig{}, "")
 	if err != nil {
 		return nil, sp, err
 	}
@@ -230,6 +243,79 @@ func measureSteps(dist string, n, workers, steps int, dt float64, seed int64, ba
 		}
 	}
 	return []stepResult{every, auto}, sp, nil
+}
+
+// measureBlockSteps benchmarks the hierarchical block-timestep scheme on
+// one (dist, n, workers) cell: a block run whose finest rung steps at dtMin
+// (so the macro step is dtMin*2^(rungs-1)), against a global-dt reference
+// advanced over the same physical time at dtMin — the cost a global
+// integrator pays to resolve the block run's finest configured grid. The
+// returned cell carries the schema-v6 block section: rung occupancy, the
+// force-evaluation reduction against N x substeps, the trajectory gap to
+// the reference, and the mixed-age phi drift next to its Theorem 2 budget
+// at the final (macro-synchronized) positions.
+func measureBlockSteps(dist string, n, workers, macroSteps, rungs int, dtMin, eta float64, seed int64, base core.Config) (stepResult, error) {
+	nsub := 1 << (rungs - 1)
+	dtMacro := dtMin * float64(nsub)
+	blk, sB, colB, err := runSteps(dist, n, workers, macroSteps, dtMacro, seed, base,
+		sim.RebuildAuto, sim.BlockConfig{MaxRungs: rungs, Eta: eta}, "block")
+	if err != nil {
+		return blk, err
+	}
+	_, sG, _, err := runSteps(dist, n, workers, macroSteps*nsub, dtMin, seed, base,
+		sim.RebuildAuto, sim.BlockConfig{}, "")
+	if err != nil {
+		return blk, err
+	}
+
+	bm := colB.Metrics().Block
+	sb := &benchfmt.StepBlock{
+		Rungs: rungs, Eta: eta, MacroSteps: macroSteps,
+		Substeps:   bm.Substeps,
+		ForceEvals: bm.ForceEvals,
+		// A global run resolving the same finest occupied grid evaluates
+		// every particle on every non-empty substep.
+		GlobalEvals: int64(n) * bm.Substeps,
+		Occupancy:   bm.Occupancy,
+		Promotions:  bm.Promotions,
+		Demotions:   bm.Demotions,
+		Staleness:   bm.Staleness,
+	}
+	if bm.ForceEvals > 0 {
+		sb.EvalReduction = float64(sb.GlobalEvals) / float64(bm.ForceEvals)
+	}
+
+	// RMS trajectory gap against the global-dt reference at the shared
+	// final time, over the RMS position magnitude.
+	var gap2, mag2 float64
+	for i := range sB.State.Set.Particles {
+		pb, pg := sB.State.Set.Particles[i].Pos, sG.State.Set.Particles[i].Pos
+		gap2 += pb.Sub(pg).Norm2()
+		mag2 += pg.Norm2()
+	}
+	if mag2 > 0 {
+		sb.TrajDrift = math.Sqrt(gap2 / mag2)
+	}
+
+	// Every macro step's last evaluation sees all particles synchronized at
+	// the macro boundary, so the block engine ends positioned at the final
+	// state and its potentials compare directly against a fresh build there.
+	if eng := sB.Engine(); eng != nil {
+		phiR, stR := eng.Potentials()
+		cfgF := base
+		cfgF.Workers = workers
+		fresh, err := core.New(sB.State.Set, cfgF)
+		if err != nil {
+			return blk, err
+		}
+		phiF, stF := fresh.Potentials()
+		sb.PhiDrift = stats.RelErr2(phiR, phiF)
+		if norm := stats.Norm2(phiF); norm > 0 {
+			sb.PhiBudget = (stR.BoundSum + stF.BoundSum) / norm
+		}
+	}
+	blk.Block = sb
+	return blk, nil
 }
 
 // measureBuild times one construction cell (best of reps by total).
@@ -283,6 +369,9 @@ func main() {
 	stepCount := flag.Int("stepcount", 10, "leapfrog steps per policy in the steps section")
 	stepDt := flag.Float64("stepdt", 1e-4, "timestep for the steps section (small enough that every update refits at the default -stepn and -stepcount)")
 	stepEval := flag.String("stepeval", "batched", "eval mode for the steps section (walk or batched; batched exercises the interaction-plan cache)")
+	blockRungs := flag.Int("blockrungs", 5, "rung count for the block-timestep steps cell (0 or 1 disables; the finest rung steps at -stepdt, so the macro step is stepdt*2^(rungs-1))")
+	blockEta := flag.Float64("blocketa", 1.0, "timestep-criterion prefactor for the block cell (dt_i = eta*sqrt(scale/|a_i|))")
+	blockCount := flag.Int("blockcount", 2, "macro steps in the block-timestep cell (0 disables)")
 	out := flag.String("o", "BENCH_treecode.json", "output file (- for stdout)")
 	flag.Parse()
 
@@ -400,27 +489,44 @@ func main() {
 		}
 	}
 
-	if *stepN > 0 && *stepCount > 0 {
+	if *stepN > 0 && (*stepCount > 0 || (*blockRungs > 1 && *blockCount > 0)) {
 		stepMode, err := core.ParseEvalMode(*stepEval)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		base := core.Config{Method: m, Alpha: *alpha, Degree: *degree, Eval: stepMode}
-		for _, workers := range workerCounts {
-			srs, sp, err := measureSteps(*stepDist, *stepN, workers, *stepCount, *stepDt, *seed, base)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+		if *stepCount > 0 {
+			for _, workers := range workerCounts {
+				srs, sp, err := measureSteps(*stepDist, *stepN, workers, *stepCount, *stepDt, *seed, base)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				d.Steps = append(d.Steps, srs...)
+				d.StepPairs = append(d.StepPairs, sp)
+				for _, sr := range srs {
+					fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d steps=%d %-5s construct %.1f ms, moments %.1f ms of %.1f ms (%d builds, %d refits, plan reuse %.1f%%)\n",
+						sr.Dist, sr.N, sr.Workers, sr.Steps, sr.Policy, sr.ConstructMS, sr.MomentsMS, sr.TotalMS, sr.Builds, sr.Refits, 100*sr.Plan.ReuseFrac)
+				}
+				fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d steps: construct speedup %.2fx, phi drift %.3g (budget %.3g), traj drift %.3g\n",
+					*stepDist, *stepN, workers, sp.ConstructSpeedup, sp.RefitPhiDrift, sp.RefitPhiBound, sp.TrajDrift)
 			}
-			d.Steps = append(d.Steps, srs...)
-			d.StepPairs = append(d.StepPairs, sp)
-			for _, sr := range srs {
-				fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d steps=%d %-5s construct %.1f ms, moments %.1f ms of %.1f ms (%d builds, %d refits, plan reuse %.1f%%)\n",
-					sr.Dist, sr.N, sr.Workers, sr.Steps, sr.Policy, sr.ConstructMS, sr.MomentsMS, sr.TotalMS, sr.Builds, sr.Refits, 100*sr.Plan.ReuseFrac)
+		}
+		if *blockRungs > 1 && *blockCount > 0 {
+			for _, workers := range workerCounts {
+				blk, err := measureBlockSteps(*stepDist, *stepN, workers, *blockCount, *blockRungs, *stepDt, *blockEta, *seed, base)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				d.Steps = append(d.Steps, blk)
+				b := blk.Block
+				fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d block rungs=%d eta=%g: %d evals over %d substeps vs %d global (%.2fx), occupancy %v\n",
+					blk.Dist, blk.N, blk.Workers, b.Rungs, b.Eta, b.ForceEvals, b.Substeps, b.GlobalEvals, b.EvalReduction, b.Occupancy)
+				fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d block: phi drift %.3g (budget %.3g), traj drift %.3g, %d promotions, %d demotions, staleness %.3g\n",
+					blk.Dist, blk.N, blk.Workers, b.PhiDrift, b.PhiBudget, b.TrajDrift, b.Promotions, b.Demotions, b.Staleness)
 			}
-			fmt.Fprintf(os.Stderr, "%-10s n=%-7d workers=%d steps: construct speedup %.2fx, phi drift %.3g (budget %.3g), traj drift %.3g\n",
-				*stepDist, *stepN, workers, sp.ConstructSpeedup, sp.RefitPhiDrift, sp.RefitPhiBound, sp.TrajDrift)
 		}
 	}
 

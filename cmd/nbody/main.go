@@ -32,6 +32,7 @@ func main() {
 	steps := flag.Int("steps", 0, "leapfrog steps to advance (0 = potentials only)")
 	dt := flag.Float64("dt", 1e-3, "timestep for -steps")
 	rebuild := flag.String("rebuild", "auto", "evaluator lifecycle across steps: auto (persistent engine, incremental refits) | every (fresh build per force evaluation)")
+	bf := cliio.BlockFlagVars()
 	ob := cliio.ObsFlagVars()
 	flag.Parse()
 
@@ -67,7 +68,7 @@ func main() {
 			os.Exit(1)
 		}
 		s, err := sim.New(sim.State{Set: set, Vel: make([]vec.V3, set.N())}, sim.Config{
-			Dt: *dt, Force: cfg, Soften: 0.01, Rebuild: policy,
+			Dt: *dt, Force: cfg, Soften: 0.01, Rebuild: policy, Block: bf.Config(),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -87,6 +88,22 @@ func main() {
 			if r.Updates > 0 {
 				fmt.Printf("engine: %d updates (%d refits, %d rebuilds), %d migrants, %d splits, %d merges, max radius inflation %.3f\n",
 					r.Updates, r.Refits, r.Rebuilds, r.Migrants, r.Splits, r.Merges, r.RadiusInflationMax)
+			}
+		}
+		if bf.Rungs > 0 {
+			if rungs := s.Rungs(); rungs != nil {
+				occ := make([]int, bf.Rungs)
+				for _, r := range rungs {
+					occ[r]++
+				}
+				fmt.Printf("block: %d rungs, final occupancy %v\n", bf.Rungs, occ)
+			}
+			if col != nil {
+				if b := col.Metrics().Block; b.Substeps > 0 {
+					reduction := float64(int64(*n)*b.Substeps) / float64(b.ForceEvals)
+					fmt.Printf("block: %d substeps, %d force evals (%.2fx vs global at finest grid), %d promotions, %d demotions, staleness %.3g\n",
+						b.Substeps, b.ForceEvals, reduction, b.Promotions, b.Demotions, b.Staleness)
+				}
 			}
 		}
 		finishObs(ob)

@@ -37,8 +37,18 @@
 //     base/-planfactor on every matched steps cell where both documents
 //     carry plan data. Pre-v5 baselines carry none and skip the gate.
 //
+//   - Block-timestep cells (schema v6 steps cells carrying a block
+//     section) gate on the force-evaluation reduction: the new
+//     EvalReduction must stay above base/-blockfactor wherever both
+//     documents carry block data. Under header identity and matching
+//     (dt, rungs, eta) the scheme is fully deterministic, so the substep
+//     count, force-evaluation count, and per-rung occupancy histogram
+//     must additionally match exactly.
+//
 // Independently of cell matching, the new document's step pairs must stay
-// within their Theorem 2 budget (RefitPhiDrift <= RefitPhiBound).
+// within their Theorem 2 budget (RefitPhiDrift <= RefitPhiBound), and every
+// new block cell's mixed-age phi drift within its extended budget
+// (PhiDrift <= PhiBudget).
 //
 // Exit status: 0 clean, 1 regression found, 2 usage or read error.
 package main
@@ -62,6 +72,7 @@ func main() {
 	diffBase := flag.String("diff", "", "baseline document: compare FILE (new) against this and exit nonzero on regression")
 	wallFactor := flag.Float64("wallfactor", 1.75, "max allowed new/base eval wall-time ratio in -diff mode (0 disables wall checks)")
 	planFactor := flag.Float64("planfactor", 1.1, "max allowed base/new plan-reuse-fraction ratio in -diff mode (0 disables the plan gate)")
+	blockFactor := flag.Float64("blockfactor", 1.25, "max allowed base/new block eval-reduction ratio in -diff mode (0 disables the block gate)")
 	relTol := flag.Float64("reltol", 1e-9, "relative tolerance for deterministic float comparisons in -diff mode")
 	out := flag.String("o", "", "render output file (default stdout)")
 	flag.Parse()
@@ -81,7 +92,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "obsreport:", err)
 			os.Exit(2)
 		}
-		regressions := diff(base, next, *wallFactor, *planFactor, *relTol)
+		regressions := diff(base, next, *wallFactor, *planFactor, *blockFactor, *relTol)
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 		}
@@ -154,6 +165,12 @@ func render(w *cliio.Output, path string) error {
 					p.ReuseFrac, p.EntriesReused, p.EntriesRebuilt, p.Invalidated, p.Drops,
 					ms(p.TraversalNS), ms(p.TraversalSavedNS))
 			}
+			if b := s.Block; b != nil {
+				fmt.Fprintf(w.W, "  block: %d rungs (eta=%g), %d evals over %d substeps vs %d global (%.2fx), occupancy %v\n",
+					b.Rungs, b.Eta, b.ForceEvals, b.Substeps, b.GlobalEvals, b.EvalReduction, b.Occupancy)
+				fmt.Fprintf(w.W, "  block: phi drift %.3g (budget %.3g), traj drift %.3g, %d promotions, %d demotions, staleness %.3g\n",
+					b.PhiDrift, b.PhiBudget, b.TrajDrift, b.Promotions, b.Demotions, b.Staleness)
+			}
 			renderSeries(w, s.Samples, s.Journal, s.Rollup)
 		}
 		for _, p := range d.StepPairs {
@@ -206,9 +223,11 @@ func (k cellKey) String() string {
 // Deterministic counters gate exactly when the documents' headers agree;
 // wall times gate by factor (0 disables); plan reuse fractions may only
 // regress within planFactor on matched steps cells where both documents
-// carry plan data (pre-v5 baselines skip the gate); budget violations in
-// next gate unconditionally.
-func diff(base, next *benchfmt.Doc, wallFactor, planFactor, relTol float64) []string {
+// carry plan data (pre-v5 baselines skip the gate); block eval reductions
+// may only regress within blockFactor where both documents carry block
+// data, with exact substep/eval/occupancy checks under full configuration
+// identity; budget violations in next gate unconditionally.
+func diff(base, next *benchfmt.Doc, wallFactor, planFactor, blockFactor, relTol float64) []string {
 	var regs []string
 	deterministic := base.Seed == next.Seed && base.Alpha == next.Alpha && //lint:ignore floatcmp header identity, not arithmetic: counters are comparable only under bit-identical configuration
 		base.Degree == next.Degree && base.Method == next.Method
@@ -273,6 +292,25 @@ func diff(base, next *benchfmt.Doc, wallFactor, planFactor, relTol float64) []st
 					k, s.Plan.ReuseFrac, b.Plan.ReuseFrac, planFactor))
 			}
 		}
+		if bb, sb := b.Block, s.Block; bb != nil && sb != nil {
+			if blockFactor > 0 && bb.EvalReduction > 0 && sb.EvalReduction < bb.EvalReduction/blockFactor { //lint:ignore nanflow blockFactor > 0 is checked first in the same condition
+				regs = append(regs, fmt.Sprintf("%s: block eval reduction %.2fx fell below baseline %.2fx / %.2f",
+					k, sb.EvalReduction, bb.EvalReduction, blockFactor))
+			}
+			// Under full configuration identity the block schedule is
+			// deterministic: the same particles land on the same rungs and
+			// the same substeps run, so the counters must match exactly.
+			if deterministic && s.Dt == b.Dt && //lint:ignore floatcmp configuration identity, not arithmetic
+				sb.Rungs == bb.Rungs && sb.Eta == bb.Eta && sb.MacroSteps == bb.MacroSteps { //lint:ignore floatcmp configuration identity, not arithmetic
+				if sb.Substeps != bb.Substeps || sb.ForceEvals != bb.ForceEvals {
+					regs = append(regs, fmt.Sprintf("%s: block schedule drifted: substeps %d->%d force evals %d->%d",
+						k, bb.Substeps, sb.Substeps, bb.ForceEvals, sb.ForceEvals))
+				}
+				if !equalOccupancy(sb.Occupancy, bb.Occupancy) {
+					regs = append(regs, fmt.Sprintf("%s: rung occupancy drifted %v -> %v", k, bb.Occupancy, sb.Occupancy))
+				}
+			}
+		}
 	}
 
 	// Budget violations in the new document regress regardless of matching.
@@ -282,6 +320,12 @@ func diff(base, next *benchfmt.Doc, wallFactor, planFactor, relTol float64) []st
 				p.Dist, p.N, p.Workers, p.RefitPhiDrift, p.RefitPhiBound))
 		}
 	}
+	for _, s := range next.Steps {
+		if s.Block != nil && s.Block.PhiDrift > s.Block.PhiBudget {
+			regs = append(regs, fmt.Sprintf("steps[%s n=%d workers=%d %s]: block phi drift %v exceeds extended Theorem 2 budget %v",
+				s.Dist, s.N, s.Workers, s.Policy, s.Block.PhiDrift, s.Block.PhiBudget))
+		}
+	}
 
 	if matched == 0 {
 		regs = append(regs, fmt.Sprintf("no comparable cells between the documents (%d base results, %d new results) — diff is vacuous",
@@ -289,6 +333,19 @@ func diff(base, next *benchfmt.Doc, wallFactor, planFactor, relTol float64) []st
 	}
 	sort.Strings(regs)
 	return regs
+}
+
+// equalOccupancy reports whether two per-rung histograms are identical.
+func equalOccupancy(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // closeRel reports a == b within relative tolerance (absolute near zero).

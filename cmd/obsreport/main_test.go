@@ -36,6 +36,15 @@ func sampleDoc() *benchfmt.Doc {
 				Plan: &benchfmt.StepPlan{EntriesReused: 785, EntriesRebuilt: 415, ReuseFrac: 0.6542,
 					Invalidated: 15, TraversalNS: 315000, TraversalSavedNS: 585000},
 			},
+			{Dist: "plummer", N: 1000, Workers: 1, Steps: 2, Dt: 8e-4, Policy: "block",
+				TotalMS: 80, Refits: 5, Migrants: 20,
+				Rollup: obs.SeriesRollup{Steps: 2, Builds: 1, Refits: 1},
+				Plan:   &benchfmt.StepPlan{EntriesReused: 500, EntriesRebuilt: 100, ReuseFrac: 0.8333},
+				Block: &benchfmt.StepBlock{Rungs: 4, Eta: 1, MacroSteps: 2,
+					Substeps: 10, ForceEvals: 2500, GlobalEvals: 10000, EvalReduction: 4.0,
+					Occupancy: []int64{900, 60, 30, 10}, Promotions: 25, Demotions: 8,
+					Staleness: 0.02, PhiDrift: 2e-6, PhiBudget: 1e-4, TrajDrift: 1e-5},
+			},
 		},
 		StepPairs: []benchfmt.StepPair{
 			{Dist: "plummer", N: 1000, Workers: 1, Steps: 3, Dt: 1e-4,
@@ -45,7 +54,7 @@ func sampleDoc() *benchfmt.Doc {
 }
 
 func TestDiffIdenticalDocumentsClean(t *testing.T) {
-	if regs := diff(sampleDoc(), sampleDoc(), 1.75, 1.1, 1e-9); len(regs) != 0 {
+	if regs := diff(sampleDoc(), sampleDoc(), 1.75, 1.1, 1.25, 1e-9); len(regs) != 0 {
 		t.Fatalf("identical documents regressed: %v", regs)
 	}
 }
@@ -53,12 +62,12 @@ func TestDiffIdenticalDocumentsClean(t *testing.T) {
 func TestDiffCatchesWallTimeRegression(t *testing.T) {
 	next := sampleDoc()
 	next.Results[0].EvalMS *= 2 // injected 2x slowdown
-	regs := diff(sampleDoc(), next, 1.75, 1.1, 1e-9)
+	regs := diff(sampleDoc(), next, 1.75, 1.1, 1.25, 1e-9)
 	if len(regs) != 1 || !strings.Contains(regs[0], "wall time") {
 		t.Fatalf("2x wall regression not caught: %v", regs)
 	}
 	// With wall checks disabled (cross-machine mode) it must pass.
-	if regs := diff(sampleDoc(), next, 0, 1.1, 1e-9); len(regs) != 0 {
+	if regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9); len(regs) != 0 {
 		t.Fatalf("wallfactor 0 still flagged wall time: %v", regs)
 	}
 }
@@ -67,7 +76,7 @@ func TestDiffCatchesBudgetViolation(t *testing.T) {
 	next := sampleDoc()
 	next.StepPairs[0].RefitPhiDrift = 10 * next.StepPairs[0].RefitPhiBound
 	// Budget violations gate even with wall checks disabled.
-	regs := diff(sampleDoc(), next, 0, 1.1, 1e-9)
+	regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9)
 	if len(regs) != 1 || !strings.Contains(regs[0], "Theorem 2 budget") {
 		t.Fatalf("budget violation not caught: %v", regs)
 	}
@@ -77,14 +86,14 @@ func TestDiffCatchesCounterDrift(t *testing.T) {
 	next := sampleDoc()
 	next.Results[1].Terms += 1000
 	next.Steps[0].Rebuilds = 1
-	regs := diff(sampleDoc(), next, 0, 1.1, 1e-9)
+	regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9)
 	if len(regs) != 2 {
 		t.Fatalf("want 2 counter regressions, got: %v", regs)
 	}
 	// Counters are machine-independent only for identical configurations:
 	// a different seed must disable the exact checks instead of flagging.
 	next.Seed = 43
-	if regs := diff(sampleDoc(), next, 0, 1.1, 1e-9); len(regs) != 0 {
+	if regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9); len(regs) != 0 {
 		t.Fatalf("seed-mismatched diff still gated counters: %v", regs)
 	}
 }
@@ -92,19 +101,72 @@ func TestDiffCatchesCounterDrift(t *testing.T) {
 func TestDiffCatchesPlanReuseRegression(t *testing.T) {
 	next := sampleDoc()
 	next.Steps[0].Plan.ReuseFrac = 0.30 // cache effectiveness collapsed
-	regs := diff(sampleDoc(), next, 0, 1.1, 1e-9)
+	regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9)
 	if len(regs) != 1 || !strings.Contains(regs[0], "plan reuse") {
 		t.Fatalf("plan reuse collapse not caught: %v", regs)
 	}
 	// A drop within the tolerance band must pass.
 	next.Steps[0].Plan.ReuseFrac = sampleDoc().Steps[0].Plan.ReuseFrac / 1.05
-	if regs := diff(sampleDoc(), next, 0, 1.1, 1e-9); len(regs) != 0 {
+	if regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9); len(regs) != 0 {
 		t.Fatalf("in-tolerance reuse drop flagged: %v", regs)
 	}
 	// planfactor 0 disables the gate entirely.
 	next.Steps[0].Plan.ReuseFrac = 0
-	if regs := diff(sampleDoc(), next, 0, 0, 1e-9); len(regs) != 0 {
+	if regs := diff(sampleDoc(), next, 0, 0, 1.25, 1e-9); len(regs) != 0 {
 		t.Fatalf("planfactor 0 still gated plan reuse: %v", regs)
+	}
+}
+
+func TestDiffCatchesBlockEvalReductionRegression(t *testing.T) {
+	next := sampleDoc()
+	next.Steps[1].Block.EvalReduction = 1.5 // savings collapsed from 4.0x
+	// Keep the deterministic schedule checks out of the way: the collapse
+	// must be caught by the factor gate alone.
+	next.Seed = 43
+	regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9)
+	if len(regs) != 1 || !strings.Contains(regs[0], "eval reduction") {
+		t.Fatalf("eval reduction collapse not caught: %v", regs)
+	}
+	// A drop within the tolerance band must pass.
+	next.Steps[1].Block.EvalReduction = 4.0 / 1.2
+	if regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9); len(regs) != 0 {
+		t.Fatalf("in-tolerance reduction drop flagged: %v", regs)
+	}
+	// blockfactor 0 disables the gate entirely.
+	next.Steps[1].Block.EvalReduction = 1.0
+	if regs := diff(sampleDoc(), next, 0, 1.1, 0, 1e-9); len(regs) != 0 {
+		t.Fatalf("blockfactor 0 still gated eval reduction: %v", regs)
+	}
+}
+
+func TestDiffCatchesBlockScheduleDrift(t *testing.T) {
+	next := sampleDoc()
+	next.Steps[1].Block.ForceEvals += 100
+	next.Steps[1].Block.Occupancy = []int64{890, 70, 30, 10}
+	regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9)
+	if len(regs) != 2 {
+		t.Fatalf("want schedule + occupancy regressions, got: %v", regs)
+	}
+	if !strings.Contains(regs[0]+regs[1], "schedule drifted") || !strings.Contains(regs[0]+regs[1], "occupancy drifted") {
+		t.Fatalf("unexpected regression set: %v", regs)
+	}
+	// The same drift under a different criterion prefactor is a
+	// configuration change, not a regression: exact checks must skip.
+	next.Steps[1].Block.Eta = 2
+	if regs := diff(sampleDoc(), next, 0, 1.1, 1.25, 1e-9); len(regs) != 0 {
+		t.Fatalf("eta-mismatched block cell still gated exactly: %v", regs)
+	}
+}
+
+func TestDiffCatchesBlockBudgetViolation(t *testing.T) {
+	next := sampleDoc()
+	next.Steps[1].Block.PhiDrift = 10 * next.Steps[1].Block.PhiBudget
+	// Like the step-pair budget, the block budget gates even when nothing
+	// matches and all factor gates are off.
+	next.Seed = 43
+	regs := diff(sampleDoc(), next, 0, 0, 0, 1e-9)
+	if len(regs) != 1 || !strings.Contains(regs[0], "extended Theorem 2 budget") {
+		t.Fatalf("block budget violation not caught: %v", regs)
 	}
 }
 
@@ -116,7 +178,7 @@ func TestDiffSkipsPlanGateOnV4Baseline(t *testing.T) {
 	base.Steps[0].Plan = nil
 	next := sampleDoc()
 	next.Steps[0].Plan.ReuseFrac = 0
-	if regs := diff(base, next, 0, 1.1, 1e-9); len(regs) != 0 {
+	if regs := diff(base, next, 0, 1.1, 1.25, 1e-9); len(regs) != 0 {
 		t.Fatalf("v4 baseline without plan section gated plan reuse: %v", regs)
 	}
 }
@@ -126,9 +188,11 @@ func TestDiffVacuousWhenNoCellsMatch(t *testing.T) {
 	for i := range next.Results {
 		next.Results[i].N = 777
 	}
-	next.Steps[0].N = 777
+	for i := range next.Steps {
+		next.Steps[i].N = 777
+	}
 	next.StepPairs = nil
-	regs := diff(sampleDoc(), next, 1.75, 1.1, 1e-9)
+	regs := diff(sampleDoc(), next, 1.75, 1.1, 1.25, 1e-9)
 	if len(regs) != 1 || !strings.Contains(regs[0], "vacuous") {
 		t.Fatalf("empty intersection must fail loudly: %v", regs)
 	}
@@ -169,6 +233,8 @@ func TestRenderBenchDocument(t *testing.T) {
 		"policy=auto", "refit", "budget_pred", "degree-clamp",
 		"construct speedup 3.00x", "rollup: 3 steps (1 build, 2 refit, 0 full",
 		"plan_reuse", "plan: reuse 0.6542 (785 reused, 415 rebuilt)",
+		"block: 4 rungs (eta=1), 2500 evals over 10 substeps vs 10000 global (4.00x)",
+		"occupancy [900 60 30 10]",
 	} {
 		if !strings.Contains(report, want) {
 			t.Fatalf("report missing %q:\n%s", want, report)

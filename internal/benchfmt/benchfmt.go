@@ -18,8 +18,11 @@ import (
 // Schema tags the current document format. v3 added the steps section; v4
 // embeds the per-step obs time series (samples, rollup) and event journal
 // in each steps entry; v5 adds the mandatory per-steps-entry Plan section
-// (interaction-plan cache reuse and traversal savings).
-const Schema = "treecode-bench/v5"
+// (interaction-plan cache reuse and traversal savings); v6 adds the
+// optional per-steps-entry Block section (hierarchical block-timestep rung
+// occupancy, force-eval savings, and the extended per-rung error
+// accounting) — optional because global-dt cells have no rung structure.
+const Schema = "treecode-bench/v6"
 
 // Result is one (distribution, n, workers, eval mode) evaluation cell.
 type Result struct {
@@ -108,6 +111,46 @@ type StepResult struct {
 	// it, so a producer that silently stopped recording plan counters
 	// fails the read instead of rendering empty cells.
 	Plan *StepPlan `json:"plan,omitempty"`
+
+	// Block summarizes a hierarchical block-timestep run (v6). Present
+	// only on cells stepped with Policy "block"; global-dt cells have no
+	// rung structure and omit it.
+	Block *StepBlock `json:"block,omitempty"`
+}
+
+// StepBlock is the per-steps-entry summary of a hierarchical block-
+// timestep run (schema v6): how the rung hierarchy was populated, the
+// force-evaluation savings against a global-dt run on the finest occupied
+// grid, and the realized accuracy of the mixed-age evaluation.
+type StepBlock struct {
+	Rungs      int     `json:"rungs"`       // configured MaxRungs
+	Eta        float64 `json:"eta"`         // timestep-criterion prefactor
+	MacroSteps int     `json:"macro_steps"` // macro Step calls in the run
+	// Substeps counts non-empty substeps (>=1 particle due) over the run;
+	// ForceEvals the per-particle force evaluations actually paid;
+	// GlobalEvals = N x Substeps, what a global-dt run resolving the same
+	// finest occupied grid would pay; EvalReduction their ratio.
+	Substeps      int64   `json:"substeps"`
+	ForceEvals    int64   `json:"force_evals"`
+	GlobalEvals   int64   `json:"global_evals"`
+	EvalReduction float64 `json:"eval_reduction"`
+	// Occupancy is the final per-rung particle histogram; Promotions and
+	// Demotions count rung transitions over the run; Staleness is the
+	// accumulated mixed-age proxy (mass-weighted source-position
+	// misalignment summed over evaluations).
+	Occupancy  []int64 `json:"occupancy"`
+	Promotions int64   `json:"promotions"`
+	Demotions  int64   `json:"demotions"`
+	Staleness  float64 `json:"staleness"`
+	// PhiDrift is the relative 2-norm gap between the block engine's
+	// potentials at the final (macro-synchronized) positions and a fresh
+	// build there; PhiBudget the corresponding Theorem 2 budget. Drift
+	// within budget extends the refit correctness criterion to mixed-age
+	// stepping. TrajDrift is the RMS position gap against a global-dt run
+	// at the finest configured timestep, over the RMS position magnitude.
+	PhiDrift  float64 `json:"phi_drift"`
+	PhiBudget float64 `json:"phi_budget"`
+	TrajDrift float64 `json:"traj_drift"`
 }
 
 // StepPlan is the per-steps-entry summary of the persistent interaction-

@@ -1,0 +1,34 @@
+package cliio
+
+import (
+	"flag"
+
+	"treecode/internal/sim"
+)
+
+// BlockFlags bundles the hierarchical block-timestep flags the stepping
+// drivers share — -rungs (the power-of-two rung count) and -eta (the
+// timestep-criterion prefactor) — so the spelling and defaults stay
+// uniform. Usage:
+//
+//	bf := cliio.BlockFlagVars()
+//	flag.Parse()
+//	cfg := sim.Config{..., Block: bf.Config()}
+type BlockFlags struct {
+	Rungs int     // -rungs: 0 = global dt; r >= 1 runs the block scheme with r rungs
+	Eta   float64 // -eta: dt_i = eta*sqrt(scale/|a_i|) (0 = sim default)
+}
+
+// BlockFlagVars registers -rungs and -eta on the default flag set and
+// returns the holder to read after flag.Parse.
+func BlockFlagVars() *BlockFlags {
+	b := &BlockFlags{}
+	flag.IntVar(&b.Rungs, "rungs", 0, "hierarchical block-timestep rungs: rung k steps at dt/2^k (0 = global dt; 1 runs the block machinery on one rung, reproducing global dt bitwise)")
+	flag.Float64Var(&b.Eta, "eta", 0, "block-timestep criterion prefactor in dt_i = eta*sqrt(scale/|a_i|) (0 = sim default)")
+	return b
+}
+
+// Config returns the sim.BlockConfig the flags select.
+func (b *BlockFlags) Config() sim.BlockConfig {
+	return sim.BlockConfig{MaxRungs: b.Rungs, Eta: b.Eta}
+}

@@ -63,6 +63,9 @@ import (
 type batchWorker struct {
 	worker
 	smac mac.SphereMAC
+	// active is the per-particle target mask of a FieldsFor evaluation
+	// (original index order); nil means every particle is a target.
+	active []bool
 	// stack backs the explicit-DFS collect; scratch receives repaired
 	// plans (swapped with the plan's old backing array afterwards).
 	stack   []planFrame
@@ -88,13 +91,26 @@ type planFrame struct {
 // e.leaves/e.plans so workers address their plan slots directly; slots are
 // disjoint per task, so plan builds and repairs race nothing.
 func (e *Evaluator) batchedLeaves(workers int, parent *obs.Span, stats *Stats, body func(w *batchWorker, li int)) {
+	e.batchedOver(nil, nil, workers, parent, stats, body)
+}
+
+// batchedOver is batchedLeaves restricted to an explicit task list of leaf
+// indices (nil means every leaf) with an optional per-particle target mask
+// the workers consult in their particle loops — the batched engine of
+// FieldsFor. Leaves absent from the task list are never touched, so their
+// cached plans stay exactly as the last pass left them.
+func (e *Evaluator) batchedOver(tasks []int, active []bool, workers int, parent *obs.Span, stats *Stats, body func(w *batchWorker, li int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e.ensurePlans()
 	smac := e.Cfg.MAC.(mac.SphereMAC) // Validate guarantees the assertion
+	count := len(e.leaves)
+	if tasks != nil {
+		count = len(tasks)
+	}
 	var mu sync.Mutex
-	st := sched.Run(len(e.leaves), workers, func(id int, next func() (int, bool)) {
+	st := sched.Run(count, workers, func(id int, next func() (int, bool)) {
 		sp := parent.ChildWorker("worker", id)
 		w := &batchWorker{
 			worker: worker{
@@ -102,10 +118,15 @@ func (e *Evaluator) batchedLeaves(workers int, parent *obs.Span, stats *Stats, b
 				buf:   make([]complex128, harmonics.Len(e.maxP+1)),
 				shard: e.Cfg.Obs.NewShard(),
 			},
-			smac: smac,
+			smac:   smac,
+			active: active,
 		}
 		for t, ok := next(); ok; t, ok = next() {
-			body(w, t)
+			li := t
+			if tasks != nil {
+				li = tasks[t]
+			}
+			body(w, li)
 		}
 		mu.Lock()
 		stats.add(&w.stats)
@@ -175,16 +196,19 @@ func (w *batchWorker) leafPotentials(li int, out []float64) {
 	pl := &w.e.plans[li]
 	leaf := pl.leaf
 	entries := w.acquire(pl)
-	w.census(entries, leaf)
+	t := w.e.Tree
+	w.census(entries, w.activeCount(leaf))
 	w.refChecks = 0
 	w.refAccepts = 0
-	t := w.e.Tree
 	for k := range entries {
 		if entries[k].kind != planM2P {
 			continue
 		}
 		n := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
+			if w.active != nil && !w.active[t.Perm[i]] {
+				continue
+			}
 			out[t.Perm[i]] += w.fusedM2P(n, t.Pos[i])
 		}
 	}
@@ -194,6 +218,9 @@ func (w *batchWorker) leafPotentials(li int, out []float64) {
 		}
 		n := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
+			if w.active != nil && !w.active[t.Perm[i]] {
+				continue
+			}
 			out[t.Perm[i]] += w.refine(n, t.Pos[i], i)
 		}
 	}
@@ -203,6 +230,9 @@ func (w *batchWorker) leafPotentials(li int, out []float64) {
 		}
 		src := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
+			if w.active != nil && !w.active[t.Perm[i]] {
+				continue
+			}
 			phi, pp := w.direct(src, t.Pos[i], i)
 			out[t.Perm[i]] += phi
 			w.stats.PP += pp
@@ -216,17 +246,32 @@ func (w *batchWorker) leafPotentials(li int, out []float64) {
 	}
 }
 
+// activeCount returns how many of the leaf's particles the current
+// evaluation targets — the whole leaf outside FieldsFor.
+func (w *batchWorker) activeCount(leaf *tree.Node) int64 {
+	if w.active == nil {
+		return int64(leaf.Count())
+	}
+	t := w.e.Tree
+	var c int64
+	for i := leaf.Start; i < leaf.End; i++ {
+		if w.active[t.Perm[i]] {
+			c++
+		}
+	}
+	return c
+}
+
 // census records the per-leaf traversal census from the plan: one bulk
-// rejection of the leaf's particle count at every opened node and every
-// directly-summed source leaf (matching the walk, which rejects once per
-// particle there), and the shared-list batch tallies. Recorded per
-// evaluation — not per collect — so a cached plan yields the same census a
-// fresh traversal would.
-func (w *batchWorker) census(entries []planEntry, leaf *tree.Node) {
+// rejection of the evaluated (active) particle count at every opened node
+// and every directly-summed source leaf (matching the walk, which rejects
+// once per particle there), and the shared-list batch tallies. Recorded
+// per evaluation — not per collect — so a cached plan yields the same
+// census a fresh traversal would.
+func (w *batchWorker) census(entries []planEntry, count int64) {
 	if w.shard == nil {
 		return
 	}
-	count := int64(leaf.Count())
 	var m2p int64
 	for k := range entries {
 		switch entries[k].kind {
@@ -282,16 +327,19 @@ func (w *batchWorker) leafFields(li int, phi []float64, field []vec.V3) {
 	pl := &w.e.plans[li]
 	leaf := pl.leaf
 	entries := w.acquire(pl)
-	w.census(entries, leaf)
+	t := w.e.Tree
+	w.census(entries, w.activeCount(leaf))
 	w.refChecks = 0
 	w.refAccepts = 0
-	t := w.e.Tree
 	for k := range entries {
 		if entries[k].kind != planM2P {
 			continue
 		}
 		n := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
+			if w.active != nil && !w.active[t.Perm[i]] {
+				continue
+			}
 			p, f := w.acceptM2PField(n, t.Pos[i])
 			phi[t.Perm[i]] += p
 			field[t.Perm[i]] = field[t.Perm[i]].Add(f)
@@ -303,6 +351,9 @@ func (w *batchWorker) leafFields(li int, phi []float64, field []vec.V3) {
 		}
 		n := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
+			if w.active != nil && !w.active[t.Perm[i]] {
+				continue
+			}
 			p, f := w.refineField(n, t.Pos[i], i)
 			phi[t.Perm[i]] += p
 			field[t.Perm[i]] = field[t.Perm[i]].Add(f)
@@ -314,6 +365,9 @@ func (w *batchWorker) leafFields(li int, phi []float64, field []vec.V3) {
 		}
 		src := entries[k].node
 		for i := leaf.Start; i < leaf.End; i++ {
+			if w.active != nil && !w.active[t.Perm[i]] {
+				continue
+			}
 			p, f, pp := w.directField(src, t.Pos[i], i)
 			phi[t.Perm[i]] += p
 			field[t.Perm[i]] = field[t.Perm[i]].Add(f)

@@ -325,6 +325,18 @@ func (e *Evaluator) construct(set *points.Set) error {
 // on where particles sit inside their boxes, so a pure in-box drift keeps
 // the selection. It must not run concurrently with evaluation calls.
 func (e *Evaluator) Update(pos []vec.V3) (RebuildKind, error) {
+	return e.UpdateFor(pos, nil)
+}
+
+// UpdateFor is Update with a block-timestep active mask: active marks, by
+// original particle index, the particles that may have moved since the
+// previous maintenance pass. tree.Update then restricts its migrant census
+// and (when no migrant is found) its geometry refresh to the marked
+// particles' ancestor chains, zeroing the drift of untouched nodes so plan
+// revalidation does not re-consume drift an earlier refresh recorded.
+// Passing a mask that omits a moved particle is a contract violation. A
+// nil mask is Update.
+func (e *Evaluator) UpdateFor(pos []vec.V3, active []bool) (RebuildKind, error) {
 	t := e.Tree
 	if len(pos) != len(t.Pos) {
 		return RebuildFull, fmt.Errorf("core: %d positions for %d particles", len(pos), len(t.Pos))
@@ -332,7 +344,7 @@ func (e *Evaluator) Update(pos []vec.V3) (RebuildKind, error) {
 	start := time.Now()
 	sp := e.Cfg.Obs.Start("core/refit")
 	c := sp.Child("tree")
-	st, err := t.Update(pos, tree.UpdateOpts{Workers: e.Cfg.Workers})
+	st, err := t.Update(pos, tree.UpdateOpts{Workers: e.Cfg.Workers, Active: active})
 	c.End()
 	if err != nil {
 		sp.End()
@@ -596,6 +608,59 @@ func (e *Evaluator) Fields() ([]float64, []vec.V3, *Stats) {
 	} else {
 		e.parallelChunks(n, e.Cfg.Workers, func(lo, hi int, w *worker) {
 			for i := lo; i < hi; i++ {
+				p, f := w.field(t.Pos[i], i)
+				phi[t.Perm[i]] = p
+				field[t.Perm[i]] = f
+			}
+		}, stats, sp)
+	}
+	stats.EvalTime = time.Since(start)
+	sp.End()
+	return phi, field, stats
+}
+
+// FieldsFor is Fields restricted to a target subset: active marks, by
+// original particle index, the targets to evaluate; every particle remains
+// a source. The returned slices are full-length, with zero entries left
+// for inactive particles. Active entries are bitwise identical to the
+// corresponding Fields entries at the same positions — the walk path runs
+// the identical per-particle traversal, and the batched path runs the
+// identical kind-filtered passes over each leaf's plan, skipping inactive
+// particles (whose per-particle sums are independent of the active ones).
+// Target leaves without an active particle are not processed at all, so
+// their cached interaction plans are neither built nor repaired: they
+// survive active-only refits untouched for the step that next needs them.
+// A nil mask is Fields.
+func (e *Evaluator) FieldsFor(active []bool) ([]float64, []vec.V3, *Stats) {
+	if active == nil {
+		return e.Fields()
+	}
+	t := e.Tree
+	n := len(t.Pos)
+	phi := make([]float64, n)
+	field := make([]vec.V3, n)
+	stats := e.newStats()
+	sp := e.Cfg.Obs.Start("core/fields")
+	start := time.Now()
+	if e.Cfg.Eval == EvalBatched {
+		tasks := make([]int, 0, len(e.leaves))
+		for li, leaf := range e.leaves {
+			for i := leaf.Start; i < leaf.End; i++ {
+				if active[t.Perm[i]] {
+					tasks = append(tasks, li)
+					break
+				}
+			}
+		}
+		e.batchedOver(tasks, active, e.Cfg.Workers, sp, stats, func(w *batchWorker, li int) {
+			w.leafFields(li, phi, field)
+		})
+	} else {
+		e.parallelChunks(n, e.Cfg.Workers, func(lo, hi int, w *worker) {
+			for i := lo; i < hi; i++ {
+				if !active[t.Perm[i]] {
+					continue
+				}
 				p, f := w.field(t.Pos[i], i)
 				phi[t.Perm[i]] = p
 				field[t.Perm[i]] = f

@@ -194,6 +194,15 @@ func (e *Evaluator) construct(set *points.Set) error {
 // traversal is a far smaller share of its evaluation time (M2L dominates),
 // so the cache has not been mirrored here.
 func (e *Evaluator) Update(pos []vec.V3) (core.RebuildKind, error) {
+	return e.UpdateFor(pos, nil)
+}
+
+// UpdateFor is Update with a block-timestep active mask (original particle
+// indices): tree.Update restricts its migrant census and, in the
+// zero-migrant case, its geometry refresh to the marked particles'
+// ancestor chains. Inactive particles' positions must be unchanged since
+// the previous pass. A nil mask is Update.
+func (e *Evaluator) UpdateFor(pos []vec.V3, active []bool) (core.RebuildKind, error) {
 	t := e.Tree
 	if len(pos) != len(t.Pos) {
 		return core.RebuildFull, fmt.Errorf("fmm: %d positions for %d particles", len(pos), len(t.Pos))
@@ -201,7 +210,7 @@ func (e *Evaluator) Update(pos []vec.V3) (core.RebuildKind, error) {
 	start := time.Now()
 	sp := e.Cfg.Obs.Start("fmm/refit")
 	c := sp.Child("tree")
-	st, err := t.Update(pos, tree.UpdateOpts{Workers: e.Cfg.Workers})
+	st, err := t.Update(pos, tree.UpdateOpts{Workers: e.Cfg.Workers, Active: active})
 	c.End()
 	if err != nil {
 		sp.End()

@@ -14,8 +14,9 @@ import (
 
 // SnapshotSchema versions the exported trace document. v1 was the
 // unversioned PR 2 format (spans + metrics); v2 adds the schema tag, the
-// per-step time series with rollups, and the event journal.
-const SnapshotSchema = "treecode-obs/v2"
+// per-step time series with rollups, and the event journal; v3 adds the
+// block-timestep metrics section and the per-rung step-sample fields.
+const SnapshotSchema = "treecode-obs/v3"
 
 // LevelData is the exported per-level metric row (LevelMetrics plus its
 // level index, so the JSON is self-describing).
@@ -46,6 +47,7 @@ type MetricsData struct {
 	Batch        BatchMetrics     `json:"batch"`
 	Refit        RefitMetrics     `json:"refit"`
 	Plan         PlanMetrics      `json:"plan"`
+	Block        BlockMetrics     `json:"block"`
 }
 
 // SeriesData is the exported per-step time series: the retained window,
@@ -94,6 +96,7 @@ func (c *Collector) Snapshot() Snapshot {
 	md.Batch = m.Batch
 	md.Refit = m.Refit
 	md.Plan = m.Plan
+	md.Block = m.Block
 	for l, lm := range m.Levels {
 		if lm == (LevelMetrics{}) {
 			continue

@@ -23,6 +23,13 @@ const (
 	// invalidated entry count) or a full rebuild dropped the whole store
 	// (Value is the dropped plan count). Reason distinguishes the cause.
 	EventPlanInvalidate = "plan-invalidate"
+	// EventRungPromote / EventRungDemote: block-timestep rung
+	// reassignments in one macro step — promotions move particles to
+	// shorter timesteps (higher rungs, applied immediately), demotions to
+	// longer ones (applied only at aligned substep boundaries). Value is
+	// the reassignment count of the step.
+	EventRungPromote = "rung-promote"
+	EventRungDemote  = "rung-demote"
 )
 
 // InflationWarnRatio is the radius-inflation ratio above which a

@@ -125,6 +125,32 @@ func (p *PlanMetrics) ReuseFrac() float64 {
 	return float64(p.EntriesReused) / float64(tot)
 }
 
+// BlockMetrics counts the hierarchical block-timestep scheme's work: how
+// many active-subset substeps ran, how many per-particle force evaluations
+// they paid, rung promotions (toward shorter timesteps) and demotions
+// (toward longer ones), and the accumulated mixed-age staleness measure.
+// Occupancy is the particles-per-rung histogram as of the latest recorded
+// step — a gauge, replaced rather than summed on merge.
+type BlockMetrics struct {
+	Substeps   int64   `json:"substeps"`
+	ForceEvals int64   `json:"force_evals"`
+	Promotions int64   `json:"promotions"`
+	Demotions  int64   `json:"demotions"`
+	Staleness  float64 `json:"staleness"`
+	Occupancy  []int64 `json:"occupancy,omitempty"`
+}
+
+func (b *BlockMetrics) add(o *BlockMetrics) {
+	b.Substeps += o.Substeps
+	b.ForceEvals += o.ForceEvals
+	b.Promotions += o.Promotions
+	b.Demotions += o.Demotions
+	b.Staleness += o.Staleness
+	if len(o.Occupancy) > 0 {
+		b.Occupancy = append(b.Occupancy[:0], o.Occupancy...)
+	}
+}
+
 // RefitMetrics counts what the persistent-engine maintenance passes
 // (Evaluator.Update) saw and did: how many updates ran, which path each
 // took (in-place refit vs drift-policy fallback to a full rebuild), and
@@ -164,6 +190,7 @@ type Metrics struct {
 	Batch        BatchMetrics   // leaf-batched evaluation counters (zero for walk mode)
 	Refit        RefitMetrics   // persistent-engine maintenance counters
 	Plan         PlanMetrics    // interaction-plan cache counters (zero for walk mode)
+	Block        BlockMetrics   // block-timestep counters (zero for global dt)
 }
 
 // Accepts returns the total MAC acceptances across levels.
@@ -243,12 +270,14 @@ func (m *Metrics) mergeFrom(o *Metrics) {
 	m.Batch.add(&o.Batch)
 	m.Refit.add(&o.Refit)
 	m.Plan.add(&o.Plan)
+	m.Block.add(&o.Block)
 }
 
 func (m *Metrics) clone() Metrics {
 	out := *m
 	out.Levels = append([]LevelMetrics(nil), m.Levels...)
 	out.DegreeHist = append([]int64(nil), m.DegreeHist...)
+	out.Block.Occupancy = append([]int64(nil), m.Block.Occupancy...)
 	return out
 }
 

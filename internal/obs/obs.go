@@ -128,6 +128,37 @@ func (c *Collector) AddRefit(r RefitMetrics) {
 	c.mu.Unlock()
 }
 
+// AddBlock folds one macro block-timestep's counters into the block
+// metrics — recorded once per sim step, like AddRefit — and journals the
+// step's rung promotions and demotions as coalesced events so transitions
+// are attributable to a step without one record per particle. Nil-safe.
+func (c *Collector) AddBlock(b BlockMetrics) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.metrics.Block.add(&b)
+	if b.Promotions > 0 {
+		c.journal.add(Event{
+			TimeNS: time.Since(c.epoch).Nanoseconds(),
+			Step:   c.curStep,
+			Kind:   EventRungPromote,
+			Reason: "particles moved to shorter-timestep rungs",
+			Value:  float64(b.Promotions),
+		})
+	}
+	if b.Demotions > 0 {
+		c.journal.add(Event{
+			TimeNS: time.Since(c.epoch).Nanoseconds(),
+			Step:   c.curStep,
+			Kind:   EventRungDemote,
+			Reason: "particles moved to longer-timestep rungs at aligned boundaries",
+			Value:  float64(b.Demotions),
+		})
+	}
+	c.mu.Unlock()
+}
+
 // AddPlanRevalidate folds one plan-revalidation pass into the plan
 // metrics: checked entries examined, invalidated entries whose drift
 // exceeded their stored slack (journaled as an EventPlanInvalidate when

@@ -151,6 +151,20 @@ func WritePrometheus(w io.Writer, c *Collector) error {
 	p.head("treecode_plan_collect_seconds_total", "counter", "Traversal time spent building or repairing interaction plans.")
 	p.sample("treecode_plan_collect_seconds_total", float64(m.Plan.CollectNS)/1e9)
 
+	p.head("treecode_block_substeps_total", "counter", "Block-timestep active-subset force evaluations (substeps) run.")
+	p.sample("treecode_block_substeps_total", float64(m.Block.Substeps))
+	p.head("treecode_block_force_evals_total", "counter", "Per-particle force evaluations paid by block substeps.")
+	p.sample("treecode_block_force_evals_total", float64(m.Block.ForceEvals))
+	p.head("treecode_rung_transitions_total", "counter", "Block-timestep rung reassignments by direction (promote = shorter dt).")
+	p.sample("treecode_rung_transitions_total", float64(m.Block.Promotions), "dir", "promote")
+	p.sample("treecode_rung_transitions_total", float64(m.Block.Demotions), "dir", "demote")
+	p.head("treecode_block_staleness_total", "counter", "Accumulated mixed-age source staleness measure (sum |q||v|age at each evaluation).")
+	p.sample("treecode_block_staleness_total", m.Block.Staleness)
+	p.head("treecode_rung_occupancy", "gauge", "Particles per block-timestep rung as of the latest recorded step.")
+	for r, n := range m.Block.Occupancy {
+		p.sample("treecode_rung_occupancy", float64(n), "rung", strconv.Itoa(r))
+	}
+
 	p.head("treecode_refit_updates_total", "counter", "Persistent-engine Update outcomes by kind (refit or full rebuild).")
 	p.sample("treecode_refit_updates_total", float64(m.Refit.Refits), "kind", "refit")
 	p.sample("treecode_refit_updates_total", float64(m.Refit.Rebuilds), "kind", "full")

@@ -53,6 +53,27 @@ type StepSample struct {
 	PlanRebuilt   int64   `json:"plan_rebuilt"`
 	PlanReuse     float64 `json:"plan_reuse"`
 	PlanCollectNS int64   `json:"plan_collect_ns"`
+
+	// Block-timestep telemetry (zero/nil under the global-dt scheme).
+	// Substeps is how many active-subset force evaluations the macro step
+	// ran, ForceEvals the per-particle force evaluations they paid in
+	// total (a global-dt run at the finest rung would pay N*Substeps),
+	// and RungOccupancy the particles-per-rung histogram at step end.
+	// RungBudgetPred/Real split the step's predicted and realized
+	// Theorem 2 budget across rungs, attributing each substep's share
+	// proportionally to its per-rung active counts; Staleness accumulates
+	// the mixed-age source measure sum |q_j|*|v_j|*age_j over frozen
+	// sources at each evaluation — the drift-dependent term the extended
+	// per-rung budget adds to Theorem 2. Promotions/Demotions count rung
+	// reassignments toward shorter/longer timesteps.
+	Substeps       int64     `json:"substeps,omitempty"`
+	ForceEvals     int64     `json:"force_evals,omitempty"`
+	RungOccupancy  []int64   `json:"rung_occupancy,omitempty"`
+	RungBudgetPred []float64 `json:"rung_budget_pred,omitempty"`
+	RungBudgetReal []float64 `json:"rung_budget_real,omitempty"`
+	Promotions     int64     `json:"promotions,omitempty"`
+	Demotions      int64     `json:"demotions,omitempty"`
+	Staleness      float64   `json:"staleness,omitempty"`
 }
 
 // MeanMax is a running sum/max aggregate over one StepSample field. The
@@ -99,6 +120,8 @@ type SeriesRollup struct {
 	Allocs          MeanMax `json:"allocs"`
 	PlanReuse       MeanMax `json:"plan_reuse"`
 	PlanCollect     MeanMax `json:"plan_collect_ns"`
+	ForceEvals      MeanMax `json:"force_evals"`
+	Staleness       MeanMax `json:"staleness"`
 }
 
 func (r *SeriesRollup) add(s *StepSample) {
@@ -122,6 +145,8 @@ func (r *SeriesRollup) add(s *StepSample) {
 	r.Allocs.add(float64(s.Allocs))
 	r.PlanReuse.add(s.PlanReuse)
 	r.PlanCollect.add(float64(s.PlanCollectNS))
+	r.ForceEvals.add(float64(s.ForceEvals))
+	r.Staleness.add(s.Staleness)
 }
 
 // series is the bounded per-step ring buffer plus its whole-run rollup.
@@ -274,6 +299,17 @@ type StepInfo struct {
 	EvalWall   time.Duration // force-evaluation share of the step
 	BudgetReal float64       // realized per-interaction bound sum (Stats.BoundSum)
 	N          int           // particle count
+
+	// Block-timestep facts (zero/nil under the global-dt scheme); copied
+	// verbatim into the sample — see the StepSample field docs.
+	Substeps       int64
+	ForceEvals     int64
+	RungOccupancy  []int64
+	RungBudgetPred []float64
+	RungBudgetReal []float64
+	Promotions     int64
+	Demotions      int64
+	Staleness      float64
 }
 
 // StepEnd closes the window opened by StepBegin and appends one StepSample:
@@ -299,6 +335,14 @@ func (c *Collector) StepEnd(mk StepMark, info StepInfo) {
 		Steals:     c.metrics.Batch.Steals - mk.steals,
 		Allocs:     int64(ms.Mallocs - mk.mallocs),
 	}
+	s.Substeps = info.Substeps
+	s.ForceEvals = info.ForceEvals
+	s.RungOccupancy = info.RungOccupancy
+	s.RungBudgetPred = info.RungBudgetPred
+	s.RungBudgetReal = info.RungBudgetReal
+	s.Promotions = info.Promotions
+	s.Demotions = info.Demotions
+	s.Staleness = info.Staleness
 	s.PlanReused = c.metrics.Plan.EntriesReused - mk.planReused
 	s.PlanRebuilt = c.metrics.Plan.EntriesRebuilt - mk.planRebuilt
 	s.PlanCollectNS = c.metrics.Plan.CollectNS - mk.planCollect

@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"treecode/internal/core"
+	"treecode/internal/obs"
+	"treecode/internal/points"
+	"treecode/internal/vec"
+)
+
+// plummerState builds a Plummer sphere at rest: the centrally concentrated
+// profile gives a wide acceleration spread, so multi-rung runs actually
+// populate several rungs.
+func plummerState(t *testing.T, n int) State {
+	t.Helper()
+	set, err := points.Generate(points.Plummer, n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return State{Set: set, Vel: make([]vec.V3, set.N())}
+}
+
+// TestBlockSingleRungBitwiseGlobal pins the block scheme's anchor: with
+// MaxRungs = 1 the block machinery runs one fully-active substep per macro
+// step through the same unmasked evaluation calls as the global-dt path,
+// so whole trajectories must match it bit for bit — softened and not,
+// persistent engine and construct-per-call alike.
+func TestBlockSingleRungBitwiseGlobal(t *testing.T) {
+	for _, soften := range []float64{0, 0.05} {
+		for _, policy := range []RebuildPolicy{RebuildAuto, RebuildEvery} {
+			st := gaussianState(t, 300)
+			cfg := Config{Dt: 1e-3, Force: core.Config{Degree: 4}, Soften: soften, Rebuild: policy}
+			global, err := New(cloneState(st), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bcfg := cfg
+			bcfg.Block = BlockConfig{MaxRungs: 1}
+			block, err := New(cloneState(st), bcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := global.Run(5); err != nil {
+				t.Fatal(err)
+			}
+			if err := block.Run(5); err != nil {
+				t.Fatal(err)
+			}
+			for i := range st.Set.Particles {
+				gp := global.State.Set.Particles[i].Pos
+				bp := block.State.Set.Particles[i].Pos
+				if gp != bp { //lint:ignore floatcmp single-rung block mode must reproduce the global-dt trajectory bitwise
+					t.Fatalf("soften=%v policy=%v: position %d diverged: global %v block %v", soften, policy, i, gp, bp)
+				}
+				if global.State.Vel[i] != block.State.Vel[i] { //lint:ignore floatcmp same: the schemes must be the same integrator
+					t.Fatalf("soften=%v policy=%v: velocity %d diverged", soften, policy, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockMultiRungReducesEvals runs a softened Plummer sphere with four
+// rungs and verifies the point of the scheme: per-particle force
+// evaluations drop well below the N x substeps a global run at the finest
+// timestep would pay, several rungs are actually occupied, and the
+// trajectory stays close to the global-dt reference at dt_min.
+func TestBlockMultiRungReducesEvals(t *testing.T) {
+	const (
+		n     = 800
+		rungs = 6
+		steps = 2
+	)
+	st := plummerState(t, n)
+	col := obs.New()
+	// A small softening keeps the central accelerations steep, so the
+	// criterion dt spans several octaves: the outer bulk keeps coarse
+	// steps while the core subdivides.
+	block, err := New(cloneState(st), Config{
+		Dt:     0.01,
+		Force:  core.Config{Method: core.Adaptive, Degree: 6, Alpha: 0.4, Obs: col},
+		Soften: 1e-3,
+		Block:  BlockConfig{MaxRungs: rungs, Eta: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := block.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	m := col.Metrics()
+	if m.Block.Substeps == 0 || m.Block.ForceEvals == 0 {
+		t.Fatalf("block counters empty: %+v", m.Block)
+	}
+	// The fair baseline: a global-dt run resolving the fastest occupied
+	// rung pays one evaluation per particle per non-empty substep.
+	global := int64(n) * m.Block.Substeps
+	if m.Block.ForceEvals >= global {
+		t.Fatalf("block mode evaluated %d forces over %d substeps, no fewer than global %d",
+			m.Block.ForceEvals, m.Block.Substeps, global)
+	}
+	reduction := float64(global) / float64(m.Block.ForceEvals)
+	if reduction < 2 {
+		t.Fatalf("eval reduction %.2fx too small for a centrally-concentrated profile", reduction)
+	}
+	occupied := 0
+	for _, c := range m.Block.Occupancy {
+		if c > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("only %d rungs occupied (occupancy %v): rung assignment inert", occupied, m.Block.Occupancy)
+	}
+	if m.Block.Staleness <= 0 {
+		t.Fatalf("multi-rung run recorded no mixed-age staleness")
+	}
+
+	// The frozen mixed-age approximation perturbs forces; the trajectory
+	// must still track a global-dt run at the finest step to a small
+	// fraction of the system scale.
+	ref, err := New(cloneState(st), Config{
+		Dt:     0.01 / (1 << (rungs - 1)),
+		Force:  core.Config{Method: core.Adaptive, Degree: 6, Alpha: 0.4},
+		Soften: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(steps * (1 << (rungs - 1))); err != nil {
+		t.Fatal(err)
+	}
+	var rms, scale float64
+	for i := range st.Set.Particles {
+		rms += block.State.Set.Particles[i].Pos.Sub(ref.State.Set.Particles[i].Pos).Norm2()
+		scale = math.Max(scale, ref.State.Set.Particles[i].Pos.Norm())
+	}
+	rms = math.Sqrt(rms / float64(n))
+	if rms > 1e-2*scale {
+		t.Fatalf("block trajectory drifted rms %.3g vs scale %.3g from the fine global reference", rms, scale)
+	}
+}
+
+// TestBlockStepSeriesAndKind pins the block path's per-step telemetry and
+// the opening-eval-kind rule: every macro step appends one sample carrying
+// the substep, force-eval, occupancy, and per-rung budget fields; the
+// first step (and a step after InvalidateForces) reports the fresh "build"
+// of its opening evaluation rather than the refit of a later substep.
+// Unsoftened, so the timestep criterion exercises the leaf-size scale and
+// the evaluations feed the MAC census the predicted budget is read from
+// (the softened visitor records realized bounds only).
+func TestBlockStepSeriesAndKind(t *testing.T) {
+	col := obs.New()
+	st := plummerState(t, 300)
+	s, err := New(st, Config{
+		Dt:    0.02,
+		Force: core.Config{Method: core.Adaptive, Degree: 4, Alpha: 0.4, Obs: col},
+		Block: BlockConfig{MaxRungs: 3, Eta: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	s.InvalidateForces()
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	samples := col.StepSamples()
+	if len(samples) != 3 {
+		t.Fatalf("3 macro steps produced %d samples", len(samples))
+	}
+	if samples[0].RefitKind != "build" {
+		t.Fatalf("first step kind %q, want build", samples[0].RefitKind)
+	}
+	if samples[2].RefitKind != "build" {
+		t.Fatalf("post-invalidate step kind %q, want build (opening-eval kind wins)", samples[2].RefitKind)
+	}
+	for i, sm := range samples {
+		if sm.Substeps <= 0 || sm.ForceEvals <= 0 {
+			t.Fatalf("sample %d missing block counters: %+v", i, sm)
+		}
+		if len(sm.RungOccupancy) != 3 || len(sm.RungBudgetPred) != 3 || len(sm.RungBudgetReal) != 3 {
+			t.Fatalf("sample %d rung vectors sized wrong: %+v", i, sm)
+		}
+		var occ, pred, real int64
+		for r := 0; r < 3; r++ {
+			occ += sm.RungOccupancy[r]
+			if sm.RungBudgetPred[r] > 0 {
+				pred++
+			}
+			if sm.RungBudgetReal[r] > 0 {
+				real++
+			}
+		}
+		if occ != int64(s.State.Set.N()) {
+			t.Fatalf("sample %d occupancy sums to %d, want every particle on a rung", i, occ)
+		}
+		if pred == 0 || real == 0 {
+			t.Fatalf("sample %d has no per-rung budget attribution: %+v", i, sm)
+		}
+	}
+	if col.SeriesRollup().ForceEvals.Max <= 0 {
+		t.Fatal("rollup missing force-eval aggregate")
+	}
+}
+
+// TestBlockCheckpointContinuation is the restart guarantee for block mode:
+// saving mid-run and loading must continue bit for bit, because version-2
+// checkpoints carry the rung assignments and cached per-particle
+// accelerations (without them the restored run would pay a re-seeding
+// evaluation and reshuffle its rungs). RebuildEvery keeps both runs on
+// construct-per-call evaluators, the bitwise-comparable lifecycle.
+func TestBlockCheckpointContinuation(t *testing.T) {
+	st := plummerState(t, 250)
+	cfg := Config{
+		Dt:      0.04,
+		Force:   core.Config{Method: core.Adaptive, Degree: 4, Alpha: 0.4},
+		Soften:  0.01,
+		Rebuild: RebuildEvery,
+		Block:   BlockConfig{MaxRungs: 3, Eta: 1},
+	}
+	full, err := New(cloneState(st), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := New(cloneState(st), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := half.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := half.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, Config{Force: cfg.Force, Rebuild: cfg.Rebuild, Dt: 1, Block: cfg.Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Steps != 2 {
+		t.Fatalf("restored at step %d, want 2", restored.Steps)
+	}
+	if got := restored.Rungs(); len(got) != st.Set.N() {
+		t.Fatalf("restored rung state has %d entries, want %d", len(got), st.Set.N())
+	}
+	if err := restored.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Set.Particles {
+		fp := full.State.Set.Particles[i].Pos
+		rp := restored.State.Set.Particles[i].Pos
+		if fp != rp { //lint:ignore floatcmp a restored block run must continue the exact trajectory
+			t.Fatalf("position %d diverged after restore: full %v restored %v", i, fp, rp)
+		}
+		if full.State.Vel[i] != restored.State.Vel[i] { //lint:ignore floatcmp same: restart must be invisible
+			t.Fatalf("velocity %d diverged after restore", i)
+		}
+	}
+}
+
+// TestBlockRungJournal verifies rung transitions surface as coalesced
+// journal events and Prometheus-visible counters rather than vanishing
+// into the integrator.
+func TestBlockRungJournal(t *testing.T) {
+	col := obs.New()
+	st := plummerState(t, 400)
+	s, err := New(st, Config{
+		Dt:     0.04,
+		Force:  core.Config{Method: core.Adaptive, Degree: 4, Alpha: 0.4, Obs: col},
+		Soften: 0.01,
+		Block:  BlockConfig{MaxRungs: 4, Eta: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	m := col.Metrics()
+	if m.Block.Promotions+m.Block.Demotions == 0 {
+		t.Skip("no rung transitions in this configuration; nothing to journal")
+	}
+	counts := col.EventCounts()
+	if counts[obs.EventRungPromote]+counts[obs.EventRungDemote] == 0 {
+		t.Fatalf("rung transitions (%d promotions, %d demotions) journaled no events: %v",
+			m.Block.Promotions, m.Block.Demotions, counts)
+	}
+}
+
+// TestBlockConfigValidation covers the new Config checks.
+func TestBlockConfigValidation(t *testing.T) {
+	st := gaussianState(t, 10)
+	if _, err := New(cloneState(st), Config{Dt: 0.1, Block: BlockConfig{MaxRungs: -1}}); err == nil {
+		t.Error("negative rung count should fail")
+	}
+	if _, err := New(cloneState(st), Config{Dt: 0.1, Block: BlockConfig{MaxRungs: maxBlockRungs + 1}}); err == nil {
+		t.Error("oversized rung count should fail")
+	}
+	if _, err := New(cloneState(st), Config{Dt: 0.1, Block: BlockConfig{MaxRungs: 2, Eta: -0.5}}); err == nil {
+		t.Error("negative eta should fail")
+	}
+}
+
+// TestAccelerationScratchReuse pins the per-call allocation fix: after
+// warm-up, repeated force evaluations must reuse the simulator's
+// acceleration and harmonics scratch instead of allocating fresh buffers
+// (and, on the softened path, fresh visitor closures per particle). The
+// bounds are far below one allocation per particle, so a reintroduced
+// per-particle or per-call O(n) allocation trips them immediately.
+func TestAccelerationScratchReuse(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		soften float64
+		bound  float64
+	}{
+		{"unsoftened", 0, 0},
+		{"softened", 0.05, 0},
+	} {
+		st := gaussianState(t, 512)
+		s, err := New(st, Config{
+			Dt:     1e-6,
+			Force:  core.Config{Method: core.Adaptive, Degree: 4, Alpha: 0.4},
+			Soften: tc.soften,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Accelerations(); err != nil { // warm up engine and scratch
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, _, err := s.Accelerations(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%s: %v allocs per evaluation", tc.name, allocs)
+		if allocs > 256 {
+			t.Fatalf("%s acceleration path allocates %v objects per call at n=512", tc.name, allocs)
+		}
+	}
+}

@@ -18,9 +18,22 @@ type checkpoint struct {
 	Soften    float64
 	Particles []points.Particle
 	Vel       []vec.V3
+
+	// Version 2 adds the hierarchical block-timestep state, so a restored
+	// block-mode simulation continues bit for bit instead of paying a
+	// re-seeding force evaluation: the per-particle rung assignments, the
+	// cached per-particle accelerations from each particle's most recent
+	// evaluation, and the substep phase within the macro step (always 0
+	// today — Step only returns at macro boundaries, where every rung is
+	// synchronized — but stored so a future intra-macro checkpoint remains
+	// a data change, not a format change). Empty in non-block runs and in
+	// version-1 documents; Load treats that as "re-seed on first step".
+	Rungs      []int
+	BlockAcc   []vec.V3
+	BlockPhase int
 }
 
-const checkpointVersion = 1
+const checkpointVersion = 2
 
 // Save writes the simulation state (positions, masses, velocities, step
 // counter, and the physical parameters) with encoding/gob. The treecode
@@ -34,18 +47,22 @@ func (s *Simulator) Save(w io.Writer) error {
 		Soften:    s.Cfg.Soften,
 		Particles: s.State.Set.Particles,
 		Vel:       s.State.Vel,
+		Rungs:     s.rung,
+		BlockAcc:  s.blockAcc,
 	})
 }
 
 // Load restores a simulation saved with Save, attaching the given force
-// configuration for subsequent steps.
+// configuration for subsequent steps. Version-1 checkpoints (pre
+// block-timestep) load with empty rung state; a block-mode continuation
+// then re-seeds its rungs on the first step, exactly like a fresh run.
 func Load(r io.Reader, force Config) (*Simulator, error) {
 	var c checkpoint
 	if err := gob.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("sim: decoding checkpoint: %w", err)
 	}
-	if c.Version != checkpointVersion {
-		return nil, fmt.Errorf("sim: checkpoint version %d, want %d", c.Version, checkpointVersion)
+	if c.Version < 1 || c.Version > checkpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint version %d, want 1..%d", c.Version, checkpointVersion)
 	}
 	cfg := force
 	cfg.Dt = c.Dt
@@ -55,5 +72,9 @@ func Load(r io.Reader, force Config) (*Simulator, error) {
 		return nil, err
 	}
 	sim.Steps = c.Steps
+	if len(c.Rungs) == len(c.Particles) && len(c.BlockAcc) == len(c.Particles) {
+		sim.rung = c.Rungs
+		sim.blockAcc = c.BlockAcc
+	}
 	return sim, nil
 }

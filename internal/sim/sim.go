@@ -68,12 +68,48 @@ func ParseRebuildPolicy(s string) (RebuildPolicy, error) {
 	return RebuildAuto, fmt.Errorf("sim: unknown rebuild policy %q (want auto or every)", s)
 }
 
+// BlockConfig configures hierarchical block timesteps — Valdarnini's
+// power-of-two individual-timestep scheme. Particles are binned into
+// rungs; rung r integrates with dt_r = Dt/2^r, so one Step call advances
+// the whole system by the macro step Dt in 2^(MaxRungs-1) substeps, each
+// evaluating forces only for the particles whose rung is due (every
+// particle stays a source at its last-drifted — possibly future — position,
+// the frozen mixed-age approximation). Rung assignment follows the
+// per-particle criterion dt_i = Eta*sqrt(scale_i/|a_i|), with scale_i the
+// softening length when positive and the particle's leaf size otherwise;
+// promotions to shorter timesteps apply immediately, demotions only at
+// substep boundaries aligned with the coarser rung's schedule, so every
+// particle's position time always lands on its own rung grid.
+type BlockConfig struct {
+	// MaxRungs is the number of rung bins. 0 disables block timesteps
+	// (the global-dt scheme); 1 runs the block machinery with a single
+	// rung, which reproduces the global-dt trajectory bit for bit.
+	MaxRungs int
+	// Eta scales the timestep criterion dt_i = Eta*sqrt(scale_i/|a_i|).
+	// 0 means the default 0.3.
+	Eta float64
+}
+
+// maxBlockRungs bounds MaxRungs so the substep count 2^(MaxRungs-1)
+// stays sane.
+const maxBlockRungs = 16
+
+const defaultBlockEta = 0.3
+
+func (b BlockConfig) eta() float64 {
+	if b.Eta == 0 {
+		return defaultBlockEta
+	}
+	return b.Eta
+}
+
 // Config controls the simulation.
 type Config struct {
-	Dt      float64       // timestep
+	Dt      float64       // macro timestep
 	Force   core.Config   // treecode configuration used every step
 	Soften  float64       // Plummer softening length (0 = none)
 	Rebuild RebuildPolicy // evaluator lifecycle across steps (default auto)
+	Block   BlockConfig   // hierarchical block timesteps (zero = global dt)
 }
 
 // Simulator advances an n-body system with leapfrog and treecode forces.
@@ -101,6 +137,26 @@ type Simulator struct {
 	// (fresh construction), "refit", or "full" (drift-policy fallback) —
 	// feeding the per-step obs time series.
 	lastRebuild string
+
+	// Reused per-call scratch of the acceleration paths: accBuf backs the
+	// slice Accelerations returns (copy it to keep it across evaluations),
+	// harmBuf the softened path's multipole evaluation workspace. Both are
+	// sized on first use and grow monotonically.
+	accBuf  []vec.V3
+	harmBuf []complex128
+
+	// Block-timestep state (nil outside block mode). rung, blockAcc, and
+	// nextSub are indexed by original particle index: the particle's
+	// current rung, the acceleration from its most recent force evaluation
+	// (its next opening kick consumes it; valid across substeps because
+	// inactive particles do not move), and the substep index at which it is
+	// next due. scaleBuf is the per-particle leaf-size scratch of the
+	// unsoftened timestep criterion.
+	rung     []int
+	blockAcc []vec.V3
+	nextSub  []int
+	maskBuf  []bool
+	scaleBuf []float64
 }
 
 // New validates and wraps the initial state.
@@ -114,13 +170,24 @@ func New(st State, cfg Config) (*Simulator, error) {
 	if cfg.Dt <= 0 {
 		return nil, fmt.Errorf("sim: non-positive dt %v", cfg.Dt)
 	}
+	if cfg.Block.MaxRungs < 0 || cfg.Block.MaxRungs > maxBlockRungs {
+		return nil, fmt.Errorf("sim: block rungs %d out of range [0,%d]", cfg.Block.MaxRungs, maxBlockRungs)
+	}
+	if cfg.Block.Eta < 0 {
+		return nil, fmt.Errorf("sim: negative block eta %v", cfg.Block.Eta)
+	}
 	return &Simulator{Cfg: cfg, State: st}, nil
 }
 
 // evaluator returns a treecode evaluator positioned at the current State:
 // a fresh construction under RebuildEvery (or on the engine's first use),
 // an incremental Evaluator.Update of the persistent engine otherwise.
-func (s *Simulator) evaluator() (*core.Evaluator, error) {
+func (s *Simulator) evaluator() (*core.Evaluator, error) { return s.evaluatorFor(nil) }
+
+// evaluatorFor is evaluator with an optional active mask (original particle
+// indices; nil = all moved). The mask reaches Evaluator.UpdateFor so a
+// block substep's refit touches only the moved particles' ancestor chains.
+func (s *Simulator) evaluatorFor(active []bool) (*core.Evaluator, error) {
 	if s.Cfg.Rebuild == RebuildEvery {
 		s.lastRebuild = "build"
 		return core.New(s.State.Set, s.Cfg.Force)
@@ -142,12 +209,23 @@ func (s *Simulator) evaluator() (*core.Evaluator, error) {
 	for i := range ps {
 		s.posBuf[i] = ps[i].Pos
 	}
-	kind, err := s.eng.Update(s.posBuf)
+	kind, err := s.eng.UpdateFor(s.posBuf, active)
 	if err != nil {
 		return nil, err
 	}
 	s.lastRebuild = kind.String()
 	return s.eng, nil
+}
+
+// accScratch returns the reused acceleration buffer sized to n. Entries are
+// not cleared: every caller overwrites the slots it reports (the masked
+// paths only guarantee active entries).
+func (s *Simulator) accScratch(n int) []vec.V3 {
+	if cap(s.accBuf) < n {
+		s.accBuf = make([]vec.V3, n)
+	}
+	s.accBuf = s.accBuf[:n]
+	return s.accBuf
 }
 
 // Engine returns the persistent evaluator of the RebuildAuto policy, or
@@ -157,65 +235,101 @@ func (s *Simulator) evaluator() (*core.Evaluator, error) {
 func (s *Simulator) Engine() *core.Evaluator { return s.eng }
 
 // Accelerations computes gravitational accelerations with the treecode.
+// The returned slice is the simulator's reused scratch: it is valid until
+// the next force evaluation; copy it to keep it longer.
 func (s *Simulator) Accelerations() ([]vec.V3, *core.Stats, error) {
+	return s.accelerationsFor(nil)
+}
+
+// accelerationsFor computes accelerations for the active target subset (by
+// original particle index; nil = everyone, identical to Accelerations).
+// With a mask, only active entries of the returned scratch are written —
+// the rest hold stale values from earlier evaluations.
+func (s *Simulator) accelerationsFor(active []bool) ([]vec.V3, *core.Stats, error) {
 	if s.Cfg.Soften > 0 {
-		return s.softenedAccel()
+		return s.softenedAccelFor(active)
 	}
-	e, err := s.evaluator()
+	e, err := s.evaluatorFor(active)
 	if err != nil {
 		return nil, nil, err
 	}
-	_, field, st := e.Fields()
-	acc := make([]vec.V3, len(field))
+	s.captureScales(e)
+	_, field, st := e.FieldsFor(active)
+	acc := s.accScratch(len(field))
+	if active == nil {
+		for i, f := range field {
+			acc[i] = f.Neg() // attractive
+		}
+		return acc, st, nil
+	}
 	for i, f := range field {
-		acc[i] = f.Neg() // attractive
+		if active[i] {
+			acc[i] = f.Neg()
+		}
 	}
 	return acc, st, nil
 }
 
-// softenedAccel computes Plummer-softened accelerations directly through
-// the tree walk of near-field pairs plus far-field multipoles. Softening
-// only matters at short range, so it is applied to the direct part; the
-// multipole far field is unsoftened (r >> eps there).
-func (s *Simulator) softenedAccel() ([]vec.V3, *core.Stats, error) {
-	e, err := s.evaluator()
+// softenedAccelFor computes Plummer-softened accelerations directly through
+// the tree walk of near-field pairs plus far-field multipoles, restricted
+// to the active target subset (nil = all). Softening only matters at short
+// range, so it is applied to the direct part; the multipole far field is
+// unsoftened (r >> eps there).
+func (s *Simulator) softenedAccelFor(active []bool) ([]vec.V3, *core.Stats, error) {
+	e, err := s.evaluatorFor(active)
 	if err != nil {
 		return nil, nil, err
 	}
+	s.captureScales(e)
 	t := e.Tree
 	eps2 := s.Cfg.Soften * s.Cfg.Soften
 	n := len(t.Pos)
-	acc := make([]vec.V3, n)
+	acc := s.accScratch(n)
 	st := &core.Stats{
 		BuildTime:  e.BuildTime(),
 		TreeHeight: t.Height,
 		TreeNodes:  t.NNodes,
 		TreeLeaves: t.NLeaves,
 	}
-	buf := make([]complex128, harmonics.Len(e.MaxSelectedDegree()+1))
+	if need := harmonics.Len(e.MaxSelectedDegree() + 1); cap(s.harmBuf) < need {
+		s.harmBuf = make([]complex128, need)
+	}
+	buf := s.harmBuf[:harmonics.Len(e.MaxSelectedDegree()+1)]
 	start := time.Now()
+	// The visitor closures are hoisted out of the particle loop (reaching
+	// the per-particle state through a and xi) so the loop allocates
+	// nothing; per-iteration closures would escape once per particle.
+	var (
+		a  vec.V3
+		xi vec.V3
+	)
+	cluster := func(nd *tree.Node, degree int) {
+		st.PC++
+		st.Terms += multipole.Terms(degree)
+		if degree > st.MaxDegree {
+			st.MaxDegree = degree
+		}
+		st.BoundSum += nd.Mp.BoundAt(xi, degree)
+		_, grad := nd.Mp.EvaluateFieldBuf(xi, degree, buf)
+		a = a.Add(grad) // attractive: acc = +grad(phi) with phi = sum m/r
+	}
+	particle := func(j int) {
+		d := t.Pos[j].Sub(xi)
+		r2 := d.Norm2() + eps2
+		if r2 == 0 {
+			return
+		}
+		st.PP++
+		inv := 1 / r2
+		a = a.Add(d.Scale(t.Q[j] * inv * math.Sqrt(inv)))
+	}
 	for i := 0; i < n; i++ {
-		var a vec.V3
-		xi := t.Pos[i]
-		e.VisitInteractions(xi, i, func(nd *tree.Node, degree int) {
-			st.PC++
-			st.Terms += multipole.Terms(degree)
-			if degree > st.MaxDegree {
-				st.MaxDegree = degree
-			}
-			st.BoundSum += nd.Mp.BoundAt(xi, degree)
-			_, grad := nd.Mp.EvaluateFieldBuf(xi, degree, buf)
-			a = a.Add(grad) // attractive: acc = +grad(phi) with phi = sum m/r
-		}, func(j int) {
-			d := t.Pos[j].Sub(xi)
-			r2 := d.Norm2() + eps2
-			if r2 == 0 {
-				return
-			}
-			st.PP++
-			inv := 1 / r2
-			a = a.Add(d.Scale(t.Q[j] * inv * math.Sqrt(inv)))
-		})
+		if active != nil && !active[t.Perm[i]] {
+			continue
+		}
+		a = vec.V3{}
+		xi = t.Pos[i]
+		e.VisitInteractions(xi, i, cluster, particle)
 		acc[t.Perm[i]] = a
 	}
 	st.EvalTime = time.Since(start)
@@ -225,13 +339,18 @@ func (s *Simulator) softenedAccel() ([]vec.V3, *core.Stats, error) {
 // Step advances one kick-drift-kick timestep. The opening kick reuses the
 // previous step's closing acceleration when available (one force
 // evaluation per step instead of two); call InvalidateForces after
-// mutating positions or masses outside Step.
+// mutating positions or masses outside Step. With Block.MaxRungs > 0 the
+// step runs the hierarchical block-timestep scheme instead, advancing the
+// same macro interval Dt through per-rung substeps (see BlockConfig).
 //
 // When the force configuration carries an obs collector, Step appends one
 // StepSample to its per-step time series — the refit kind and evaluation
 // stats of the closing kick plus the collector's own counter deltas. With
 // obs disabled the mark is the inert zero value and no telemetry code runs.
 func (s *Simulator) Step() error {
+	if s.Cfg.Block.MaxRungs > 0 {
+		return s.blockStep()
+	}
 	mark := s.Cfg.Force.Obs.StepBegin()
 	acc := s.acc
 	// kind is the step's evaluator lifecycle for the time series. A step
@@ -285,6 +404,8 @@ func (s *Simulator) InvalidateForces() {
 	s.acc = nil
 	s.eng = nil
 	s.posBuf = nil
+	s.blockAcc = nil // the next block step re-evaluates and re-seeds rungs
+	s.rung = nil
 }
 
 // Run advances k steps.

@@ -65,6 +65,17 @@ type UpdateOpts struct {
 	// above 1 mean nodes pinned at their geometric cap. 0 means the
 	// default 2.
 	MaxInflation float64
+	// Active, when non-nil, marks the particles (by original build
+	// index, the same indexing as Update's pos argument) that may have
+	// moved since the previous pass — the block-timestep active set.
+	// The migrant census then scans only active particles, and when no
+	// migrant is found the geometry refresh touches only the ancestor
+	// chains of leaves holding an active particle; every untouched
+	// node's SrcDrift/TgtDrift is zeroed, since its contents provably
+	// did not move. Passing a mask that omits a particle whose position
+	// changed is a contract violation: the tree would keep stale
+	// geometry for it. nil means every particle may have moved.
+	Active []bool
 }
 
 func (o *UpdateOpts) fill() {
@@ -132,14 +143,20 @@ func (t *Tree) Update(pos []vec.V3, opts UpdateOpts) (UpdateStats, error) {
 		t.Pos[i] = pos[orig]
 	}
 	// Migrant census: one pass over the leaves in tree order, so the
-	// migrant list is ascending in tree index.
+	// migrant list is ascending in tree index. Under an active mask only
+	// active particles are tested — inactive ones did not move, so they
+	// cannot have left their leaf.
 	var migrants []int
 	rootBox := t.Root.Box
+	active := opts.Active
 	t.Walk(func(n *Node) {
 		if !n.IsLeaf() {
 			return
 		}
 		for i := n.Start; i < n.End; i++ {
+			if active != nil && !active[t.Perm[i]] {
+				continue
+			}
 			if !n.Box.Contains(t.Pos[i]) {
 				migrants = append(migrants, i)
 				if !rootBox.Contains(t.Pos[i]) {
@@ -158,7 +175,13 @@ func (t *Tree) Update(pos []vec.V3, opts UpdateOpts) (UpdateStats, error) {
 		t.restructure(t.Root, &st)
 		t.recount()
 	}
-	st.MaxInflation = t.RefreshGeometry(opts.Workers)
+	if active != nil && st.Migrants == 0 {
+		// No particle changed leaves: only the ancestor chains of leaves
+		// holding an active particle can have changed geometry.
+		st.MaxInflation = t.refreshActive(opts.Workers, active)
+	} else {
+		st.MaxInflation = t.RefreshGeometry(opts.Workers)
+	}
 	if st.MaxInflation > opts.MaxInflation {
 		st.NeedRebuild = true
 	}
@@ -360,6 +383,79 @@ func (t *Tree) RefreshGeometry(workers int) float64 {
 	worst := make([]float64, workers)
 	for l := len(levels) - 1; l >= 0; l-- {
 		nodes := levels[l]
+		sched.Run(len(nodes), workers, func(id int, next func() (int, bool)) {
+			for i, ok := next(); ok; i, ok = next() {
+				if f := t.refreshNode(nodes[i]); f > worst[id] {
+					worst[id] = f
+				}
+			}
+		})
+	}
+	var max float64
+	for _, f := range worst {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// refreshActive is the masked variant of RefreshGeometry for the
+// zero-migrant case: every particle kept its slot, so a node's statistics
+// can only have changed if its subtree holds an active particle. The pass
+// marks those dirty nodes top-down (a leaf is dirty when its range holds
+// an active particle, an internal node when any child is dirty), then
+// refreshes only them on the usual level-synchronized bottom-up schedule —
+// clean children contribute their stored, still-exact statistics to dirty
+// parents — and zeroes the SrcDrift/TgtDrift of every clean node, whose
+// spheres provably did not move this pass (plan revalidation would
+// otherwise re-consume drift recorded by an earlier refresh). Dirty nodes
+// go through the same pure refreshNode as the full pass, so an all-true
+// mask is bitwise identical to RefreshGeometry.
+//
+// The returned inflation maximum covers only the refreshed nodes: a clean
+// node's ratio is unchanged from the pass that last touched it, when it
+// was already checked against the drift policy.
+func (t *Tree) refreshActive(workers int, active []bool) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dirty := make(map[*Node]bool, t.NLeaves)
+	var mark func(n *Node) bool
+	mark = func(n *Node) bool {
+		d := false
+		if n.IsLeaf() {
+			for i := n.Start; i < n.End; i++ {
+				if active[t.Perm[i]] {
+					d = true
+					break
+				}
+			}
+		} else {
+			for _, c := range n.Children {
+				if mark(c) {
+					d = true
+				}
+			}
+		}
+		if d {
+			dirty[n] = true
+		} else {
+			n.SrcDrift, n.TgtDrift = 0, 0
+		}
+		return d
+	}
+	mark(t.Root)
+	levels := t.Levels()
+	worst := make([]float64, workers)
+	var nodes []*Node
+	for l := len(levels) - 1; l >= 0; l-- {
+		nodes = nodes[:0]
+		for _, n := range levels[l] {
+			if dirty[n] {
+				nodes = append(nodes, n)
+			}
+		}
 		sched.Run(len(nodes), workers, func(id int, next func() (int, bool)) {
 			for i, ok := next(); ok; i, ok = next() {
 				if f := t.refreshNode(nodes[i]); f > worst[id] {
